@@ -1,0 +1,57 @@
+"""Extra experiment 6 — in-DRAM row remapping as domain knowledge
+(Section III-A).
+
+The paper assumes "in-DRAM address remappings can be reverse-engineered
+... and they are assumed to be available".  This bench quantifies why,
+on a module whose rows are internally folded (the classic middle-pair
+swap):
+
+* SoftTRR configured with the *true* remap protects at every distance;
+* SoftTRR wrongly assuming identity is saved at Δ±6 (the fold displaces
+  rows by at most one position, so the over-approximation still covers
+  the physical neighbours) but demonstrably fails at Δ±1 — no trace
+  faults, no refreshes, victim flipped.
+
+The benchmarked operation is one remap-translated adjacency query.
+"""
+
+from conftest import scale
+
+from repro.analysis.tables import render_table
+from repro.dram.remap import FoldedRemap, IdentityRemap
+
+import tests.core.test_remap_knowledge as scenario
+
+
+def test_remap_knowledge(benchmark, announce):
+    rows = []
+    outcomes = {}
+    for label, distance, assumed in (
+        ("true remap, D+-1", 1, None),
+        ("true remap, D+-6", 6, None),
+        ("identity assumed, D+-1", 1, IdentityRemap(64)),
+        ("identity assumed, D+-6", 6, IdentityRemap(64)),
+    ):
+        flips, module = scenario.hammer_scenario(
+            max_distance=distance, assume_remap=assumed)
+        verdict = "protected" if not flips else "FLIPPED"
+        outcomes[label] = verdict
+        rows.append([label, module.tracer.captured_faults,
+                     module.refresher.refreshes, len(flips), verdict])
+    announce("extra_remap.txt", render_table(
+        ["Configuration", "Trace faults", "Refreshes", "Victim flips",
+         "Verdict"],
+        rows,
+        title="In-DRAM row remapping vs SoftTRR's domain knowledge "
+              "(folded module)"))
+    assert outcomes["true remap, D+-1"] == "protected"
+    assert outcomes["true remap, D+-6"] == "protected"
+    assert outcomes["identity assumed, D+-1"] == "FLIPPED"
+    assert outcomes["identity assumed, D+-6"] == "protected"
+
+    remap = FoldedRemap(1024)
+
+    def adjacency_query():
+        remap.neighbors(512, 6)
+
+    benchmark(adjacency_query)

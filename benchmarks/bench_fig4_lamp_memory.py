@@ -1,0 +1,48 @@
+"""Figure 4 — SoftTRR memory consumption under LAMP + Nikto
+(Section VI-B).
+
+Regenerates the per-minute memory series for Δ±1 and Δ±6 over the LAMP
+run.  Expected shape: both curves grow and plateau in the last quarter,
+both stay in the hundreds-of-KiB range, dominated by the pre-allocated
+396 KiB pte_ringbuf.
+
+The benchmarked operation is one simulated LAMP minute on the defended
+server.
+"""
+
+from conftest import scale
+
+from repro.analysis.memory import run_lamp_series, summarise
+from repro.analysis.tables import render_lamp_series
+from repro.config import perf_testbed
+from repro.core.profile import SoftTrrParams
+from repro.core.softtrr import SoftTrr
+from repro.kernel.kernel import Kernel
+from repro.workloads.lamp import LampSimulation
+
+MINUTES = scale(24, 60)
+
+
+def test_fig4_lamp_memory(benchmark, announce):
+    series = run_lamp_series(distances=(1, 6), minutes=MINUTES,
+                             spec_factory=perf_testbed)
+    announce("fig4_lamp_memory.txt", render_lamp_series(
+        series, "memory_bytes",
+        "Figure 4 — SoftTRR memory consumption (KiB) over the LAMP run",
+        unit_divisor=1024.0, unit="KiB"))
+    for distance, samples in series.items():
+        summary = summarise(samples)
+        # Growth then plateau, in the paper's sub-600-KiB regime.
+        assert samples[-1].memory_bytes >= samples[0].memory_bytes
+        assert summary["stable_memory_kib"] < 700
+        assert summary["ringbuf_kib"] == 396.0
+
+    kernel = Kernel(perf_testbed())
+    kernel.load_module("softtrr", SoftTrr(SoftTrrParams()))
+    simulation = LampSimulation(kernel, workers=3, requests_per_minute=20)
+    simulation.boot()
+
+    def one_lamp_minute():
+        simulation.run(minutes=1)
+
+    benchmark.pedantic(one_lamp_minute, rounds=6, iterations=1)

@@ -1,0 +1,44 @@
+"""Table IV — Phoronix suite runtime overhead (Section VI-A).
+
+Regenerates the 17-program overhead table (CPU / memory / network I/O /
+disk I/O stressors) under Δ±1 and Δ±6.  Expected shape: per-program
+overheads within ~±1-2 %, means ~0.2 %.
+
+The benchmarked operation is one defended Apache-profile slice (the
+fork- and syscall-heaviest program of the suite).
+"""
+
+from conftest import scale
+
+from repro.analysis.overhead import measure_suite_overhead
+from repro.analysis.tables import render_overhead_table
+from repro.config import perf_testbed
+from repro.core.profile import SoftTrrParams
+from repro.core.softtrr import SoftTrr
+from repro.kernel.kernel import Kernel
+from repro.workloads.base import SliceWorkload, WorkloadProfile
+from repro.workloads.phoronix import PHORONIX_ORDER, PHORONIX_PROFILES
+
+DURATION_MS = scale(70, 140)
+
+
+def test_table4_phoronix_overhead(benchmark, announce):
+    rows = measure_suite_overhead(
+        PHORONIX_PROFILES, PHORONIX_ORDER, spec_factory=perf_testbed,
+        duration_override_ms=DURATION_MS)
+    announce("table4_phoronix.txt", render_overhead_table(
+        rows, "Table IV — Phoronix benchmark overhead"))
+    mean = rows[-1]
+    assert abs(mean.delta1_pct) < 1.5
+    assert abs(mean.delta6_pct) < 1.5
+
+    kernel = Kernel(perf_testbed())
+    kernel.load_module("softtrr", SoftTrr(SoftTrrParams()))
+    profile = WorkloadProfile(
+        **{**PHORONIX_PROFILES["Apache"].__dict__, "duration_ms": 1})
+    workload = SliceWorkload(kernel, profile)
+
+    def one_defended_slice():
+        workload.run()
+
+    benchmark.pedantic(one_defended_slice, rounds=8, iterations=1)

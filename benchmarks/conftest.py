@@ -1,0 +1,33 @@
+"""Shared benchmark configuration.
+
+Every bench regenerates one of the paper's tables or figures, prints it
+to the terminal (bypassing capture) and archives it under ``results/``.
+Scale knobs default to laptop-friendly values; set ``REPRO_FULL=1`` for
+paper-scale runs (more victims, longer workloads, 60 LAMP minutes).
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def scale(small, full):
+    """Pick a parameter by scale mode."""
+    return full if FULL else small
+
+
+@pytest.fixture
+def announce(capsys):
+    """Print a rendered table to the real terminal and archive it."""
+    from repro.analysis.tables import save_result
+
+    def _announce(filename, text):
+        save_result(filename, text)
+        with capsys.disabled():
+            print()
+            print(text)
+            print(f"[saved to results/{filename}]")
+
+    return _announce

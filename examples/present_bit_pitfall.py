@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Why SoftTRR uses reserved bit 51, not the present bit (Section IV-C).
+
+The obvious way to trap accesses to a page is to clear the *present*
+bit in its PTE.  The paper explains why that design crashes the kernel:
+"when a process is forking a new child process, the kernel checks
+present bit in the process's leaf PTEs ... the kernel will abort,
+because the tracer is unaware of when the forking occurs".
+
+This script runs both tracer variants through the identical scenario —
+map memory, let the tracer arm it, then fork — and shows the present-bit
+variant panic while the reserved-bit variant (the paper's design) works.
+
+Run:  python examples/present_bit_pitfall.py
+"""
+
+from repro import Kernel, NS_PER_MS, SoftTrr, SoftTrrParams, perf_testbed
+from repro.errors import KernelPanic
+from repro.kernel.vma import PAGE
+
+
+def scenario(trace_bit: str) -> str:
+    kernel = Kernel(perf_testbed())
+    kernel.load_module(
+        "softtrr", SoftTrr(SoftTrrParams(trace_bit=trace_bit)))
+    proc = kernel.create_process("victim-of-design")
+    base = kernel.mmap(proc, 48 * PAGE)
+    for i in range(48):
+        kernel.user_write(proc, base + i * PAGE, b"x")
+    # Let a tracer tick arm the pages adjacent to the new page tables.
+    kernel.clock.advance(2 * NS_PER_MS)
+    kernel.dispatch_timers()
+    armed = kernel.module("softtrr").tracer.armed_total
+    try:
+        child = kernel.fork(proc)
+    except KernelPanic as panic:
+        return f"{armed} PTEs armed -> fork -> KERNEL PANIC: {panic}"
+    data = kernel.user_read(child, base, 1)
+    return (f"{armed} PTEs armed -> fork succeeded, child inherited "
+            f"{data!r} -> system stable")
+
+
+def main() -> None:
+    print("=== tracer using the PRESENT bit (the rejected design) ===")
+    print(scenario("present"))
+    print()
+    print("=== tracer using RESERVED bit 51 (the paper's design) ===")
+    print(scenario("rsvd"))
+
+
+if __name__ == "__main__":
+    main()

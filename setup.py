@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` needs `bdist_wheel`; this offline environment lacks it,
+so `python setup.py develop` provides the editable install instead.
+All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

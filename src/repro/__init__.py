@@ -1,0 +1,66 @@
+"""SoftTRR reproduction: software-only target row refresh.
+
+This package reproduces *SoftTRR: Protect Page Tables against Rowhammer
+Attacks using Software-only Target Row Refresh* (Zhang, Cheng et al.)
+on a fully simulated stack: a DRAM module with rowhammer physics, an
+x86-64 MMU, a mini-kernel, the SoftTRR loadable module, the three
+attacks of the paper's security evaluation, the baseline defenses it
+compares against, and the workload suites behind its performance
+numbers.
+
+Quickstart::
+
+    from repro import Kernel, SoftTrr, SoftTrrParams, perf_testbed
+
+    kernel = Kernel(perf_testbed())
+    kernel.load_module("softtrr", SoftTrr(SoftTrrParams(max_distance=6)))
+    proc = kernel.create_process("app")
+    base = kernel.mmap(proc, 64 * 4096)
+    kernel.user_write(proc, base, b"hello")
+    print(kernel.module("softtrr").stats())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured comparison of every table and figure.
+"""
+
+from .clock import NS_PER_MS, NS_PER_SEC, NS_PER_US, SimClock
+from .config import (
+    CostModel,
+    MachineSpec,
+    machine,
+    MACHINES,
+    optiplex_390,
+    optiplex_990,
+    perf_testbed,
+    thinkpad_x230,
+    tiny_machine,
+)
+from .core.profile import OfflineProfile, SoftTrrParams
+from .core.softtrr import SoftTrr, SoftTrrStats
+from .kernel.kernel import Kernel
+from .kernel.physmem import FrameUse
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NS_PER_MS",
+    "NS_PER_SEC",
+    "NS_PER_US",
+    "SimClock",
+    "CostModel",
+    "MachineSpec",
+    "machine",
+    "MACHINES",
+    "optiplex_390",
+    "optiplex_990",
+    "perf_testbed",
+    "thinkpad_x230",
+    "tiny_machine",
+    "OfflineProfile",
+    "SoftTrrParams",
+    "SoftTrr",
+    "SoftTrrStats",
+    "Kernel",
+    "FrameUse",
+    "__version__",
+]

@@ -1,0 +1,52 @@
+"""LAMP memory-consumption series (Figures 4 and 5).
+
+``run_lamp_series`` runs the LAMP + Nikto simulation for each requested
+tracking distance and returns the per-minute samples that Figure 4
+(memory bytes) and Figure 5 (protected / traced page counts) plot.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from ..config import MachineSpec, perf_testbed
+from ..core.profile import SoftTrrParams
+from ..core.softtrr import SoftTrr
+from ..kernel.kernel import Kernel
+from ..workloads.lamp import LampSample, LampSimulation
+
+
+def run_lamp_series(
+    distances: Sequence[int] = (1, 6),
+    minutes: int = 60,
+    spec_factory: Callable[[], MachineSpec] = perf_testbed,
+    workers: int = 3,
+    requests_per_minute: int = 20,
+    seed: int = 60,
+) -> Dict[int, List[LampSample]]:
+    """Per-minute SoftTRR samples under each Δ±distance configuration."""
+    series: Dict[int, List[LampSample]] = {}
+    for distance in distances:
+        kernel = Kernel(spec_factory())
+        kernel.load_module(
+            "softtrr", SoftTrr(SoftTrrParams(max_distance=distance)))
+        simulation = LampSimulation(
+            kernel, seed=seed, workers=workers,
+            requests_per_minute=requests_per_minute)
+        series[distance] = simulation.run(minutes=minutes)
+    return series
+
+
+def summarise(samples: List[LampSample]) -> Dict[str, float]:
+    """Headline numbers for one series (used by EXPERIMENTS.md)."""
+    last_quarter = samples[-max(1, len(samples) // 4):]
+    return {
+        "final_memory_kib": samples[-1].memory_bytes / 1024.0,
+        "peak_memory_kib": max(s.memory_bytes for s in samples) / 1024.0,
+        "stable_memory_kib": (
+            sum(s.memory_bytes for s in last_quarter)
+            / len(last_quarter) / 1024.0),
+        "final_protected": samples[-1].protected_pages,
+        "final_traced": samples[-1].traced_pages,
+        "ringbuf_kib": samples[0].ringbuf_bytes / 1024.0,
+    }

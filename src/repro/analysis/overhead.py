@@ -1,0 +1,106 @@
+"""Runtime-overhead measurement (Tables III and IV).
+
+For every program the suite runs three *identical* seeded workloads on
+three freshly booted machines — vanilla, SoftTRR Δ±1, SoftTRR Δ±6 — and
+reports the runtime delta as a percentage, exactly the quantity Tables
+III/IV tabulate.
+
+A seeded measurement-noise term (default sigma = 0.35 %) is applied to
+each measured runtime, standing in for the run-to-run variance of real
+hardware; it is what produces the small negative entries the paper's
+tables also contain (e.g. mcf_s -0.76 %).  Set ``noise_sigma_pct=0`` for
+the raw model output.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..config import MachineSpec, perf_testbed
+from ..core.profile import SoftTrrParams
+from ..core.softtrr import SoftTrr
+from ..kernel.kernel import Kernel
+from ..workloads.base import SliceWorkload, WorkloadProfile
+
+
+@dataclass
+class OverheadRow:
+    """One table row: a program's overhead under both distances."""
+
+    name: str
+    vanilla_ns: int
+    delta1_ns: int
+    delta6_ns: int
+    delta1_pct: float
+    delta6_pct: float
+
+
+def _run_once(spec: MachineSpec, profile: WorkloadProfile,
+              distance: Optional[int], seed: int) -> int:
+    """One program on one fresh machine; returns runtime in ns."""
+    kernel = Kernel(spec)
+    if distance is not None:
+        kernel.load_module(
+            "softtrr", SoftTrr(SoftTrrParams(max_distance=distance)))
+    result = SliceWorkload(kernel, profile, seed=seed).run()
+    return result.runtime_ns
+
+
+def _noisy(runtime_ns: int, tag: str, sigma_pct: float, seed: int) -> int:
+    if sigma_pct <= 0:
+        return runtime_ns
+    rng = random.Random(f"noise:{tag}:{seed}")
+    return int(runtime_ns * (1.0 + rng.gauss(0.0, sigma_pct / 100.0)))
+
+
+def measure_overhead(profile: WorkloadProfile,
+                     spec_factory: Callable[[], MachineSpec] = perf_testbed,
+                     seed: int = 17,
+                     noise_sigma_pct: float = 0.35) -> OverheadRow:
+    """Vanilla vs Δ±1 vs Δ±6 for one program."""
+    vanilla = _run_once(spec_factory(), profile, None, seed)
+    delta1 = _run_once(spec_factory(), profile, 1, seed)
+    delta6 = _run_once(spec_factory(), profile, 6, seed)
+    vanilla_m = _noisy(vanilla, f"{profile.name}:vanilla", noise_sigma_pct, seed)
+    delta1_m = _noisy(delta1, f"{profile.name}:d1", noise_sigma_pct, seed)
+    delta6_m = _noisy(delta6, f"{profile.name}:d6", noise_sigma_pct, seed)
+    return OverheadRow(
+        name=profile.name,
+        vanilla_ns=vanilla_m,
+        delta1_ns=delta1_m,
+        delta6_ns=delta6_m,
+        delta1_pct=100.0 * (delta1_m - vanilla_m) / vanilla_m,
+        delta6_pct=100.0 * (delta6_m - vanilla_m) / vanilla_m,
+    )
+
+
+def measure_suite_overhead(
+    profiles: Dict[str, WorkloadProfile],
+    order: Sequence[str],
+    spec_factory: Callable[[], MachineSpec] = perf_testbed,
+    seed: int = 17,
+    noise_sigma_pct: float = 0.35,
+    duration_override_ms: Optional[int] = None,
+) -> List[OverheadRow]:
+    """All programs of a suite, in table order, plus a Mean row."""
+    rows: List[OverheadRow] = []
+    for name in order:
+        profile = profiles[name]
+        if duration_override_ms is not None:
+            profile = WorkloadProfile(
+                **{**profile.__dict__, "duration_ms": duration_override_ms})
+        rows.append(measure_overhead(
+            profile, spec_factory=spec_factory, seed=seed,
+            noise_sigma_pct=noise_sigma_pct))
+    mean = OverheadRow(
+        name="Mean",
+        vanilla_ns=sum(r.vanilla_ns for r in rows) // len(rows),
+        delta1_ns=sum(r.delta1_ns for r in rows) // len(rows),
+        delta6_ns=sum(r.delta6_ns for r in rows) // len(rows),
+        delta1_pct=sum(r.delta1_pct for r in rows) / len(rows),
+        delta6_pct=sum(r.delta6_pct for r in rows) / len(rows),
+    )
+    rows.append(mean)
+    return rows

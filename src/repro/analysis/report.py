@@ -1,0 +1,113 @@
+"""One-shot report generator: every reproduced table and figure.
+
+Usage (also wired as ``python -m repro.analysis.report``)::
+
+    python -m repro.analysis.report            # quick scale
+    python -m repro.analysis.report --full     # paper scale
+    python -m repro.analysis.report --only table3 fig4
+
+Each artefact is printed and archived under ``results/``.  The benchmark
+targets under ``benchmarks/`` run the same generators with shape
+assertions; this module is the convenience entry point for humans.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict
+
+from ..config import perf_testbed
+from ..workloads.phoronix import PHORONIX_ORDER, PHORONIX_PROFILES
+from ..workloads.spec import SPEC_ORDER, SPEC_PROFILES
+from .memory import run_lamp_series
+from .overhead import measure_suite_overhead
+from .robustness import run_table5
+from .security import run_table2
+from .tables import (
+    render_lamp_series,
+    render_overhead_table,
+    render_table2,
+    render_table5,
+    save_result,
+)
+
+
+def generate_table2(full: bool) -> str:
+    rows = run_table2(m=4 if full else 2,
+                      template_rounds=22_000 if full else 16_000)
+    return render_table2(rows)
+
+
+def generate_table3(full: bool) -> str:
+    rows = measure_suite_overhead(
+        SPEC_PROFILES, SPEC_ORDER, spec_factory=perf_testbed,
+        duration_override_ms=160 if full else 80)
+    return render_overhead_table(
+        rows, "Table III — SPECspeed 2017 Integer overhead")
+
+
+def generate_table4(full: bool) -> str:
+    rows = measure_suite_overhead(
+        PHORONIX_PROFILES, PHORONIX_ORDER, spec_factory=perf_testbed,
+        duration_override_ms=140 if full else 70)
+    return render_overhead_table(
+        rows, "Table IV — Phoronix benchmark overhead")
+
+
+def generate_table5(full: bool) -> str:
+    rows = run_table5(spec_factory=perf_testbed,
+                      iterations=None if full else 10)
+    return render_table5(rows)
+
+
+def _lamp(full: bool):
+    return run_lamp_series(distances=(1, 6), minutes=60 if full else 24,
+                           spec_factory=perf_testbed)
+
+
+def generate_fig4(full: bool) -> str:
+    return render_lamp_series(
+        _lamp(full), "memory_bytes",
+        "Figure 4 — SoftTRR memory consumption (KiB) over the LAMP run",
+        unit_divisor=1024.0, unit="KiB")
+
+
+def generate_fig5(full: bool) -> str:
+    series = _lamp(full)
+    return (render_lamp_series(
+                series, "protected_pages",
+                "Figure 5a — protected L1PT pages over the LAMP run")
+            + "\n\n"
+            + render_lamp_series(
+                series, "traced_pages",
+                "Figure 5b — traced adjacent pages over the LAMP run"))
+
+
+GENERATORS: Dict[str, Callable[[bool], str]] = {
+    "table2": generate_table2,
+    "table3": generate_table3,
+    "table4": generate_table4,
+    "table5": generate_table5,
+    "fig4": generate_fig4,
+    "fig5": generate_fig5,
+}
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale parameters (slower)")
+    parser.add_argument("--only", nargs="*", choices=sorted(GENERATORS),
+                        help="generate a subset of artefacts")
+    args = parser.parse_args(argv)
+    targets = args.only or sorted(GENERATORS)
+    for name in targets:
+        print(f"\n[{name}] generating ...")
+        text = GENERATORS[name](args.full)
+        print(text)
+        path = save_result(f"report_{name}.txt", text)
+        print(f"[{name}] saved to {path}")
+
+
+if __name__ == "__main__":
+    main()

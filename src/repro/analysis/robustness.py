@@ -1,0 +1,77 @@
+"""System-robustness evaluation (Table V).
+
+Runs the 20 LTP-style stress drivers on the vanilla system, under
+SoftTRR Δ±1 and under SoftTRR Δ±6 — each on a freshly booted machine —
+and tabulates pass/fail.  The expected result (and the paper's) is a
+full column of checkmarks: "there is no deviation for the SoftTRR-based
+system compared to the vanilla system".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..clock import NS_PER_MS
+from ..config import MachineSpec, perf_testbed
+from ..core.profile import SoftTrrParams
+from ..core.softtrr import SoftTrr
+from ..kernel.kernel import Kernel
+from ..kernel.vma import PAGE
+from ..workloads.ltp import LTP_STRESS_TESTS, run_stress_test
+
+
+@dataclass
+class Table5Row:
+    """One Table V line."""
+
+    category: str
+    name: str
+    vanilla: bool
+    delta1: bool
+    delta6: bool
+    error: Optional[str] = None
+
+    def cells(self):
+        """(vanilla, Δ±1, Δ±6) as the table's check/cross marks."""
+        return tuple("pass" if ok else "FAIL"
+                     for ok in (self.vanilla, self.delta1, self.delta6))
+
+
+def _fresh_kernel(spec_factory: Callable[[], MachineSpec],
+                  distance: Optional[int]) -> Kernel:
+    kernel = Kernel(spec_factory())
+    if distance is not None:
+        kernel.load_module(
+            "softtrr", SoftTrr(SoftTrrParams(max_distance=distance)))
+        # Warm the system so the tracer has real armed state while the
+        # stress storms run (that is the point of the robustness test).
+        proc = kernel.create_process("warmup")
+        base = kernel.mmap(proc, 48 * PAGE)
+        for i in range(48):
+            kernel.user_write(proc, base + i * PAGE, b"w")
+        kernel.clock.advance(2 * NS_PER_MS)
+        kernel.dispatch_timers()
+    return kernel
+
+
+def run_table5(spec_factory: Callable[[], MachineSpec] = perf_testbed,
+               iterations: Optional[int] = None) -> List[Table5Row]:
+    """Regenerate Table V."""
+    rows: List[Table5Row] = []
+    for name, (category, _, _) in LTP_STRESS_TESTS.items():
+        results = {}
+        for label, distance in (("vanilla", None), ("d1", 1), ("d6", 6)):
+            kernel = _fresh_kernel(spec_factory, distance)
+            results[label] = run_stress_test(kernel, name,
+                                             iterations=iterations)
+        failures = [r.error for r in results.values() if not r.passed]
+        rows.append(Table5Row(
+            category=category,
+            name=name,
+            vanilla=results["vanilla"].passed,
+            delta1=results["d1"].passed,
+            delta6=results["d6"].passed,
+            error=failures[0] if failures else None,
+        ))
+    return rows

@@ -1,0 +1,116 @@
+"""Plain-text rendering of the reproduced tables and figure series.
+
+Shared by the benchmark targets (which print and archive the output
+under ``results/``) and by EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Sequence
+
+from ..workloads.lamp import LampSample
+from .memory import summarise
+from .overhead import OverheadRow
+from .robustness import Table5Row
+from .security import MatrixCell, Table2Row
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[str]],
+                 title: str = "") -> str:
+    """Minimal aligned ASCII table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def render_table2(rows: List[Table2Row]) -> str:
+    """Table II: security effectiveness."""
+    return render_table(
+        ["Machine", "CPU", "DRAM", "Attack", "m",
+         "flips (no defense)", "flips (SoftTRR)", "Bit Flip Failed?"],
+        [[r.machine, r.cpu, r.dram, r.attack, r.m,
+          r.baseline_flipped_pages, r.softtrr_flipped_pages, r.checkmark]
+         for r in rows],
+        title="Table II — SoftTRR vs the three kernel-privilege attacks",
+    )
+
+
+def render_overhead_table(rows: List[OverheadRow], title: str) -> str:
+    """Tables III/IV: runtime overhead."""
+    return render_table(
+        ["Program", "Delta+-1", "Delta+-6 (default)"],
+        [[r.name, f"{r.delta1_pct:+.2f}%", f"{r.delta6_pct:+.2f}%"]
+         for r in rows],
+        title=title,
+    )
+
+
+def render_table5(rows: List[Table5Row]) -> str:
+    """Table V: LTP robustness."""
+    body = []
+    for r in rows:
+        vanilla, d1, d6 = r.cells()
+        body.append([r.category, r.name, vanilla, d1, d6])
+    return render_table(
+        ["Category", "Syscall", "Vanilla", "Delta+-1", "Delta+-6"],
+        body,
+        title="Table V — system-call stress tests (LTP)",
+    )
+
+
+def render_matrix(cells: List[MatrixCell]) -> str:
+    """Baseline-defense comparison matrix."""
+    return render_table(
+        ["Defense", "Attack", "Verdict", "Detail"],
+        [[c.defense, c.attack, c.verdict, c.detail] for c in cells],
+        title="Baseline defenses vs page-table rowhammer attacks",
+    )
+
+
+def render_lamp_series(series: Dict[int, List[LampSample]],
+                       value: str, title: str, unit_divisor: float = 1.0,
+                       unit: str = "") -> str:
+    """Figure 4/5 data as a minute-by-minute table."""
+    distances = sorted(series)
+    minutes = [s.minute for s in series[distances[0]]]
+    headers = ["minute"] + [f"D+-{d} {unit}".strip() for d in distances]
+    rows = []
+    for i, minute in enumerate(minutes):
+        row = [minute]
+        for d in distances:
+            row.append(f"{getattr(series[d][i], value) / unit_divisor:.1f}")
+        rows.append(row)
+    out = [render_table(headers, rows, title=title), ""]
+    for d in distances:
+        summary = summarise(series[d])
+        out.append(
+            f"Delta+-{d}: stable {summary['stable_memory_kib']:.0f} KiB, "
+            f"peak {summary['peak_memory_kib']:.0f} KiB, "
+            f"protected {summary['final_protected']}, "
+            f"traced {summary['final_traced']} "
+            f"(ring buffer {summary['ringbuf_kib']:.0f} KiB pre-allocated)")
+    return "\n".join(out)
+
+
+def save_result(name: str, text: str, results_dir: str = "results") -> str:
+    """Archive a rendered table under results/ (for bench output)."""
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, name)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return path

@@ -1,0 +1,39 @@
+"""Rowhammer attacks (Section V's three kernel-privilege-escalation
+attacks, plus the primitives they are built from).
+
+* :mod:`repro.attacks.hammer` — user-level hammer loops (double-sided,
+  single-sided, one-location, TRRespass many-sided) driven through the
+  MMU so the defenses can see them.
+* :mod:`repro.attacks.templating` — flip templating: finding pages with
+  reproducible bit flips, as every attack's first step.
+* :mod:`repro.attacks.placement` — the kernel-assisted helpers the
+  paper's *optimised deterministic* evaluation uses (placing sprayed
+  L1PTs onto chosen vulnerable frames).
+* :mod:`repro.attacks.memory_spray` — Memory Spray [41] (Section V-A).
+* :mod:`repro.attacks.cattmew` — CATTmew [12] via the SG driver buffer
+  (Section V-B).
+* :mod:`repro.attacks.pthammer` — PThammer [57], implicit hammering of
+  L1PTEs through page walks (Section V-C).
+"""
+
+from .hammer import HammerKit
+from .templating import FlipTemplater, VulnerablePage
+from .placement import place_l1pt_at, spray_l1pts
+from .base import AttackOutcome, PageTableAttack
+from .memory_spray import MemorySprayAttack
+from .cattmew import CattmewAttack
+from .pthammer import PthammerAttack, PthammerSprayAttack
+
+__all__ = [
+    "HammerKit",
+    "FlipTemplater",
+    "VulnerablePage",
+    "place_l1pt_at",
+    "spray_l1pts",
+    "AttackOutcome",
+    "PageTableAttack",
+    "MemorySprayAttack",
+    "CattmewAttack",
+    "PthammerAttack",
+    "PthammerSprayAttack",
+]

@@ -1,0 +1,71 @@
+"""CATTmew [12], optimised as in Section V-B.
+
+CATT [11] physically separates user and kernel memory, so an attacker's
+own pages can never neighbour L1PT rows.  CATTmew breaks that guarantee
+"by identifying device (e.g., SCSI Generic) driver buffers that are
+kernel memory but can be accessed by unprivileged users": the SG buffer
+is allocated from kernel frames (inside CATT's kernel region, next to
+page tables) yet mapped user-writable.
+
+The structure of the optimised evaluation (Optiplex 990, plain 2-sided
+hammer on DDR3) follows the paper: the attacker obtains a large SG
+buffer ("we can apply as large as 123 MiB and only 8m KiB ... are
+enough"), templates *through the buffer* — so victims and aggressors
+are kernel-region frames — then the kernel copies ``m`` sprayed L1PT
+pages onto the vulnerable frames.  The aggressors are SG pages the
+whole time: from CATT's point of view, kernel memory hammering kernel
+memory, one guard ring away from nothing.
+
+Against CATT this attack *succeeds* (the placement is entirely inside
+the kernel partition).  Against CTA it fails: the vulnerable SG-region
+frame cannot become an L1PT, because L1PTs only live in CTA's dedicated
+region.  Against SoftTRR it fails because SG pages adjacent to L1PT
+rows are traced like any other user-accessible page.
+"""
+
+from __future__ import annotations
+
+from ..kernel.devices import SgDevice
+from ..kernel.vma import PAGE
+from .base import PageTableAttack, PlacedTarget
+from .placement import place_l1pt_at, set_bit_polarity, spray_l1pts
+
+
+class CattmewAttack(PageTableAttack):
+    """Section V-B's optimised CATTmew."""
+
+    name = "cattmew"
+    pattern = "double_sided"
+
+    def __init__(self, kernel, m: int = 4, **kwargs) -> None:
+        self.sg = SgDevice(kernel, max_buffer_bytes=8 * 1024 * 1024)
+        super().__init__(kernel, m=m, **kwargs)
+
+    def _template_region_provider(self):
+        """Template through the SG driver buffer: attacker-writable
+        kernel memory (the CATTmew primitive)."""
+        def provider(pages: int) -> int:
+            return self.sg.alloc_buffer(self.process, pages * PAGE)
+
+        return provider
+
+    def _place(self) -> None:
+        kernel = self.kernel
+        slices = spray_l1pts(kernel, self.process, self.m)
+        for vulnerable, slice_vaddr in zip(self.vulnerable, slices):
+            # Release the vulnerable SG page back to the kernel; the
+            # frame stays in whatever region the active policy put SG
+            # memory in (the kernel partition, under CATT).
+            kernel.munmap(self.process, vulnerable.victim_vaddr, PAGE)
+            kernel.free_frame(vulnerable.victim_ppn)
+            place_l1pt_at(kernel, self.process, slice_vaddr,
+                          vulnerable.victim_ppn)
+            flip = vulnerable.flips[0]
+            set_bit_polarity(kernel, vulnerable.victim_ppn,
+                             flip.page_bit_offset, flip.from_value)
+            # The aggressors are SG-buffer mappings already.
+            self.targets.append(PlacedTarget(
+                victim_ppn=vulnerable.victim_ppn,
+                aggressor_vaddrs=list(vulnerable.aggressor_vaddrs),
+                template=vulnerable,
+            ))

@@ -1,0 +1,129 @@
+"""User-level hammer primitives (Section II-B's four patterns).
+
+A hammer loop is, architecturally, ``clflush`` + load per aggressor per
+iteration, fast enough that each load is a row activation.  Running
+every single iteration through the Python MMU would be prohibitively
+slow, so :class:`HammerKit` uses a *hybrid* loop that preserves every
+property the defenses and the DRAM physics observe:
+
+* once per batch (default 100 iterations) each aggressor is accessed
+  through the full MMU path (``kernel.user_read``) — so a SoftTRR-armed
+  page faults exactly as on real hardware (the tracer only cares about
+  the *first* access per timer interval anyway; Section IV-C);
+* the rest of the batch is issued as forced row activations on the DRAM
+  module with the same per-iteration time cost, keeping the in-DRAM TRR
+  tracker's view interleaved at realistic granularity (batches must stay
+  small: the Misra-Gries tracker sees them as consecutive ACTs);
+* kernel timers are dispatched at every batch boundary, so SoftTRR's
+  1 ms tick interleaves with the hammering at ~8 µs granularity.
+
+The effective activation period is ``conflict latency + extra_ns``
+(clflush + loop overhead), ~80 ns — matching the paper's offline-profile
+arithmetic that puts the minimum time-to-first-flip just above 1 ms.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import AttackError
+from ..kernel.process import Process
+
+#: Per-activation overhead beyond the DRAM conflict: clflush + loop.
+DEFAULT_EXTRA_NS = 15
+
+#: Default iterations per hybrid batch (kept small for TRR fidelity).
+DEFAULT_BATCH = 100
+
+
+class HammerKit:
+    """Hammering primitives bound to one (kernel, process) pair."""
+
+    def __init__(self, kernel, process: Process,
+                 extra_ns: int = DEFAULT_EXTRA_NS) -> None:
+        self.kernel = kernel
+        self.process = process
+        self.extra_ns = extra_ns
+        self.total_activations = 0
+
+    # ------------------------------------------------------------ helpers
+    def paddr_of(self, vaddr: int) -> int:
+        """Physical address behind a mapped user vaddr (faulting it in)."""
+        ppn = self.kernel.mapped_ppn_of(self.process, vaddr)
+        if ppn is None:
+            self.kernel.user_read(self.process, vaddr, 1)
+            ppn = self.kernel.mapped_ppn_of(self.process, vaddr)
+        if ppn is None:
+            raise AttackError(f"cannot resolve {vaddr:#x}")
+        return (ppn << 12) | (vaddr & 0xFFF)
+
+    # -------------------------------------------------------------- loops
+    def hammer(self, vaddrs: Sequence[int], iterations: int,
+               batch: int = DEFAULT_BATCH,
+               per_iter_delay_ns: int = 0) -> None:
+        """Hammer ``vaddrs`` round-robin for ``iterations`` rounds.
+
+        One round touches every aggressor once (clflush + load).
+        ``per_iter_delay_ns`` models extra work per round (e.g. the NOP
+        padding of Section V-C's rate-matched templating).
+        """
+        if not vaddrs:
+            raise AttackError("no aggressors to hammer")
+        if iterations <= 0:
+            return
+        kernel = self.kernel
+        paddrs = [self.paddr_of(va) for va in vaddrs]
+        done = 0
+        while done < iterations:
+            n = min(batch, iterations - done)
+            for vaddr, paddr in zip(vaddrs, paddrs):
+                # The architecturally visible access of the batch: takes
+                # the RSVD fault if SoftTRR armed this page.
+                kernel.mmu.clflush(paddr)
+                kernel.user_read(self.process, vaddr, 8)
+                if n > 1:
+                    # The rest of the batch: same physics, batched.
+                    kernel.dram.hammer(paddr, n - 1)
+                    kernel.clock.advance((n - 1) * self.extra_ns)
+                self.total_activations += n
+            if per_iter_delay_ns:
+                kernel.clock.advance(n * per_iter_delay_ns)
+            kernel.dispatch_timers()
+            done += n
+
+    def hammer_for(self, vaddrs: Sequence[int], duration_ns: int,
+                   batch: int = DEFAULT_BATCH,
+                   per_iter_delay_ns: int = 0) -> int:
+        """Hammer for a fixed simulated duration; returns rounds done."""
+        start = self.kernel.clock.now_ns
+        rounds = 0
+        while self.kernel.clock.now_ns - start < duration_ns:
+            self.hammer(vaddrs, batch, batch=batch,
+                        per_iter_delay_ns=per_iter_delay_ns)
+            rounds += batch
+        return rounds
+
+    # ------------------------------------------------------- row patterns
+    @staticmethod
+    def double_sided_rows(victim_row: int) -> List[int]:
+        """Aggressor rows for the classic double-sided pattern."""
+        return [victim_row - 1, victim_row + 1]
+
+    @staticmethod
+    def single_sided_rows(victim_row: int, spare_row: int) -> List[int]:
+        """One true aggressor + one same-bank row to defeat the row
+        buffer (the 'two random rows' of [41])."""
+        return [victim_row - 1, spare_row]
+
+    @staticmethod
+    def one_location_rows(victim_row: int) -> List[int]:
+        """A single aggressor; only effective under closed-page policy."""
+        return [victim_row - 1]
+
+    @staticmethod
+    def many_sided_rows(first_victim_row: int, sides: int) -> List[int]:
+        """The TRRespass assembly: ``sides`` aggressors separated by one
+        row (victims in between)."""
+        if sides < 3:
+            raise AttackError("many-sided means at least 3 aggressors")
+        return [first_victim_row - 1 + 2 * i for i in range(sides)]

@@ -1,0 +1,137 @@
+"""Kernel-assisted placement helpers for the deterministic evaluation.
+
+The paper's security evaluation converts each probabilistic attack into
+a deterministic one "by using the kernel privilege to put page tables
+onto vulnerable pages" (Section V-A): it sprays L1PT pages, then asks
+the kernel to copy their contents into chosen vulnerable frames and
+repoint the L2 entries.  These helpers reproduce that machinery:
+
+* :func:`spray_l1pts` — create a virtual region of ``2m`` MiB so the
+  victim process owns ``m`` L1PT pages (1 L1PT per 2 MiB of address
+  space);
+* :func:`place_l1pt_at` — relocate the L1PT page covering a region onto
+  a specific physical frame.  The relocation goes through the normal
+  kernel frame machinery (``__free_pages`` fires for the old L1PT,
+  ``__pte_alloc`` for the new placement), so a loaded SoftTRR module
+  observes the move exactly as it would observe any page-table churn.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import AttackError
+from ..kernel.physmem import FrameUse
+from ..kernel.hooks import HOOK_PTE_ALLOC
+from ..kernel.process import Process
+from ..kernel.vma import PAGE
+from ..mmu import bits
+
+#: Virtual span covered by one L1PT page: 512 entries x 4 KiB.
+L1_SPAN = 512 * PAGE
+
+
+def spray_l1pts(kernel, process: Process, count: int,
+                prefault: bool = True) -> List[int]:
+    """Create ``count`` L1PT pages by mapping ``count`` x 2 MiB of
+    address space (one page touched per 2 MiB is enough).
+
+    Returns the base vaddr of each 2 MiB slice.
+    """
+    base = kernel.mmap(process, count * L1_SPAN, name="spray")
+    slices = [base + i * L1_SPAN for i in range(count)]
+    if prefault:
+        for vaddr in slices:
+            kernel.user_write(process, vaddr, b"\x5a")
+    return slices
+
+
+def l1pt_of(kernel, process: Process, vaddr: int) -> Optional[int]:
+    """PPN of the L1PT page covering ``vaddr`` (None if not built)."""
+    mm = process.mm
+    table = mm.pml4_ppn
+    for level in (4, 3):
+        entry = kernel.mmu.pt_ops.raw_read_entry(
+            table, bits.level_index(vaddr, level))
+        if not bits.is_present(entry):
+            return None
+        table = bits.pte_ppn(entry)
+    entry = kernel.mmu.pt_ops.raw_read_entry(
+        table, bits.level_index(vaddr, 2))
+    if not bits.is_present(entry) or bits.is_huge(entry):
+        return None
+    return bits.pte_ppn(entry)
+
+
+def place_l1pt_at(kernel, process: Process, vaddr: int,
+                  target_ppn: int) -> int:
+    """Relocate the L1PT page covering ``vaddr`` onto ``target_ppn``.
+
+    ``target_ppn`` must be a *free* frame (the caller unmaps/frees it
+    first).  Returns the old L1PT PPN.  This is the paper's
+    "copy the content of the m pages of L1PTs into the m vulnerable
+    pages, which are then used to translate the virtual memory region".
+    """
+    old_l1 = l1pt_of(kernel, process, vaddr)
+    if old_l1 is None:
+        raise AttackError(f"no L1PT covers {vaddr:#x}")
+    if old_l1 == target_ppn:
+        return old_l1
+    # Claim the exact target frame through the active placement policy:
+    # partitioning defenses veto placements that break their isolation.
+    kernel.frame_policy.alloc_specific(target_ppn, FrameUse.PAGE_TABLE)
+    kernel.frame_table.record_alloc(target_ppn, FrameUse.PAGE_TABLE, 0)
+    # Copy the 512 entries with real (architectural) memory traffic:
+    # the kernel's copy loop activates the destination row, which
+    # recharges it — templating residue does not survive placement.
+    kernel.mmu.phys_store(target_ppn << 12,
+                          kernel.mmu.phys_load(old_l1 << 12, PAGE))
+    # Repoint the L2 entry.
+    mm = process.mm
+    table = mm.pml4_ppn
+    for level in (4, 3):
+        entry = kernel.mmu.pt_ops.raw_read_entry(
+            table, bits.level_index(vaddr, level))
+        table = bits.pte_ppn(entry)
+    l2_index = bits.level_index(vaddr, 2)
+    l2_entry = kernel.mmu.pt_ops.read_entry(table, l2_index)
+    new_entry = (l2_entry & ~bits.PTE_ADDR_MASK) | (
+        (target_ppn << 12) & bits.PTE_ADDR_MASK)
+    kernel.mmu.pt_ops.write_entry(table, l2_index, new_entry)
+    # Transfer kernel bookkeeping, flush stale translations.
+    mm.pte_page_population[target_ppn] = mm.pte_page_population.pop(old_l1)
+    kernel.mmu.on_context_switch()
+    # Tell the world: the old page-table page dies, a new one is born.
+    kernel.hooks.notify(HOOK_PTE_ALLOC, process, target_ppn)
+    kernel.free_frame(old_l1)
+    return old_l1
+
+
+def free_user_frame(kernel, process: Process, vaddr: int) -> int:
+    """Unmap one attacker page and return its (now free) frame PPN."""
+    ppn = kernel.mapped_ppn_of(process, vaddr)
+    if ppn is None:
+        raise AttackError(f"{vaddr:#x} not mapped")
+    kernel.munmap(process, vaddr, PAGE)
+    return ppn
+
+
+def set_bit_polarity(kernel, ppn: int, page_bit_offset: int,
+                     charged_value: int) -> None:
+    """Force one bit of a frame to a cell's charged polarity.
+
+    The paper's deterministic evaluation guarantees the templated cell
+    is observable after L1PTs are placed on the vulnerable page (a real
+    attacker achieves the same by spraying PTE values whose bits match
+    the cell's polarity).  The bit lives inside the attacker's own
+    sprayed L1PT entries, so flipping its initial value only perturbs a
+    translation the attacker controls anyway.
+    """
+    byte_offset, bit = divmod(page_bit_offset, 8)
+    paddr = (ppn << 12) + byte_offset
+    current = kernel.dram.raw_read(paddr, 1)[0]
+    if charged_value:
+        updated = current | (1 << bit)
+    else:
+        updated = current & ~(1 << bit)
+    kernel.dram.raw_write(paddr, bytes([updated]))

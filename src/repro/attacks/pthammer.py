@@ -1,0 +1,221 @@
+"""PThammer [57], optimised as in Section V-C.
+
+PThammer is the *implicit* attack: the attacker never touches memory
+adjacent to L1PTs.  Instead it exploits the page walk — a load whose
+translation misses the TLB and whose L1PTE misses the cache forces the
+CPU to fetch the L1PTE from DRAM, *activating the L1PT page's row*.
+Spraying L1PT pages makes some of them mutual neighbours; hammering two
+aggressor L1PTs flips bits in a victim L1PT between them.
+
+The optimised evaluation (Thinkpad X230):
+
+* templating uses 2-sided hammer padded with NOPs "to meet the time
+  cost taken by the kernel-assisted hammer" (so the found pages flip at
+  PThammer's slower activation rate);
+* ``3m`` L1PT pages are sprayed; the kernel copies them onto the ``m``
+  victim and ``2m`` aggressor frames;
+* the hammer loop is kernel-assisted flush + load: ``invlpg`` for the
+  TLB entry, ``clflush`` for the L1PTE line, then a user load that
+  page-walks through the aggressor L1PT.
+
+Against SoftTRR this is exactly the class-(b) adjacency of Section
+III-C: the loaded pages' *L1PT pages* are adjacent to the victim L1PT,
+so SoftTRR traces the loads and refreshes the victim row in time.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import AttackError
+from ..mmu import bits
+from .base import PageTableAttack, PlacedTarget
+from .placement import (
+    free_user_frame,
+    l1pt_of,
+    place_l1pt_at,
+    set_bit_polarity,
+    spray_l1pts,
+)
+
+#: Extra time per hammer round vs the plain 2-sided loop: invlpg +
+#: pipeline cost of the kernel-assisted flush (~the "180 NOPs" padding).
+PTHAMMER_EXTRA_NS = 170
+
+
+def page_walk_hammer(kernel, process, entries, duration_ns: int,
+                     batch: int = 100) -> None:
+    """The kernel-assisted page-walk hammer loop shared by both
+    PThammer variants.  ``entries`` is a list of
+    (vaddr, l1_ppn, l1_index, pte_paddr) tuples."""
+    start = kernel.clock.now_ns
+    while kernel.clock.now_ns - start < duration_ns:
+        for vaddr, l1, index, pte_paddr in entries:
+            kernel.mmu.invlpg(vaddr)
+            kernel.mmu.pt_ops.flush_entry(l1, index)
+            kernel.user_read(process, vaddr, 8)
+            kernel.dram.hammer(pte_paddr, batch - 1, origin="walk")
+            kernel.clock.advance((batch - 1) * PTHAMMER_EXTRA_NS)
+        kernel.dispatch_timers()
+
+
+class PthammerAttack(PageTableAttack):
+    """Section V-C's optimised PThammer."""
+
+    name = "pthammer"
+    pattern = "double_sided"
+
+    def _template_delay_ns(self) -> int:
+        # Rate-match templating to the slower page-walk hammer, as the
+        # paper does with NOP padding.
+        return PTHAMMER_EXTRA_NS
+
+    def _place(self) -> None:
+        kernel = self.kernel
+        # Spray 3m L1PTs: m victims + 2m aggressors.
+        slices = spray_l1pts(kernel, self.process, 3 * self.m)
+        slice_iter = iter(slices)
+        for vulnerable in self.vulnerable:
+            # Victim L1PT onto the vulnerable frame.
+            victim_slice = next(slice_iter)
+            free_user_frame(kernel, self.process, vulnerable.victim_vaddr)
+            place_l1pt_at(kernel, self.process, victim_slice,
+                          vulnerable.victim_ppn)
+            flip = vulnerable.flips[0]
+            set_bit_polarity(kernel, vulnerable.victim_ppn,
+                             flip.page_bit_offset, flip.from_value)
+            # Aggressor L1PTs onto the frames flanking the victim row.
+            hammer_vaddrs: List[int] = []
+            for aggr_vaddr, aggr_ppn in zip(vulnerable.aggressor_vaddrs,
+                                            vulnerable.aggressor_ppns):
+                aggr_slice = next(slice_iter)
+                free_user_frame(kernel, self.process, aggr_vaddr)
+                place_l1pt_at(kernel, self.process, aggr_slice, aggr_ppn)
+                # The load target: the (pre-faulted) first page of the
+                # slice, now translated through the aggressor L1PT.
+                hammer_vaddrs.append(aggr_slice)
+            self.targets.append(PlacedTarget(
+                victim_ppn=vulnerable.victim_ppn,
+                aggressor_vaddrs=hammer_vaddrs,
+                template=vulnerable,
+                per_iter_delay_ns=PTHAMMER_EXTRA_NS,
+            ))
+
+    # ------------------------------------------------------ hammer loop
+    def _hammer_target(self, target: PlacedTarget, duration_ns: int) -> None:
+        """Kernel-assisted flush + load: the page-walk hammer."""
+        kernel = self.kernel
+        entries = []
+        for vaddr in target.aggressor_vaddrs:
+            l1 = l1pt_of(kernel, self.process, vaddr)
+            if l1 is None:
+                raise AttackError(f"no L1PT behind {vaddr:#x}")
+            index = bits.level_index(vaddr, 1)
+            pte_paddr = kernel.mmu.pt_ops.entry_paddr(l1, index)
+            entries.append((vaddr, l1, index, pte_paddr))
+        page_walk_hammer(kernel, self.process, entries, duration_ns)
+
+
+class PthammerSprayAttack:
+    """The *probabilistic* PThammer used against the baseline defenses.
+
+    Unlike the Section V-C optimised variant, this one never places page
+    tables on templated frames — it only sprays L1PTs and exploits
+    whatever mutual adjacency the allocator produces.  That is exactly
+    why it defeats CATT and CTA: both preserve PT-to-PT adjacency inside
+    their kernel/PT partitions, and the page-walk hammer needs nothing
+    else.
+
+    The candidate search consults the DRAM ground truth to rank victim
+    rows (the evaluation-harness equivalent of the paper's kernel-
+    assisted determinism); a real attacker finds the same rows by
+    hammer-and-check over the sprayed set.
+    """
+
+    name = "pthammer_spray"
+
+    def __init__(self, kernel, spray_count: int = 96, victims: int = 2,
+                 max_distance: int = 2) -> None:
+        self.kernel = kernel
+        self.spray_count = spray_count
+        self.victims = victims
+        self.max_distance = max_distance
+        self.process = kernel.create_process("pthammer-spray")
+        self.targets = []  # (victim_l1_ppn, [hammer entries])
+        self._snapshots = {}
+
+    def setup(self) -> None:
+        kernel = self.kernel
+        slices = spray_l1pts(kernel, self.process, self.spray_count)
+        by_location = {}
+        slice_of = {}
+        for vaddr in slices:
+            l1 = l1pt_of(kernel, self.process, vaddr)
+            slice_of[l1] = vaddr
+            for bank, row in kernel.dram.mapping.page_rows(l1):
+                by_location.setdefault((bank, row), []).append(l1)
+        engine = kernel.dram.engine
+        used_rows = set()
+        for (bank, row), l1s in sorted(by_location.items()):
+            if len(self.targets) >= self.victims:
+                break
+            if not engine.is_vulnerable(bank, row):
+                continue
+            if (bank, row) in used_rows:
+                continue
+            # Find sprayed aggressor L1PTs flanking this victim row.
+            for distance in range(1, self.max_distance + 1):
+                lo = by_location.get((bank, row - distance))
+                hi = by_location.get((bank, row + distance))
+                if not lo or not hi:
+                    continue
+                entries = []
+                for aggr_l1 in (lo[0], hi[0]):
+                    vaddr = slice_of[aggr_l1]
+                    index = bits.level_index(vaddr, 1)
+                    pte_paddr = kernel.mmu.pt_ops.entry_paddr(aggr_l1, index)
+                    entries.append((vaddr, aggr_l1, index, pte_paddr))
+                used_rows.update({(bank, row), (bank, row - distance),
+                                  (bank, row + distance)})
+                self.targets.append((l1s[0], entries))
+                break
+        if len(self.targets) < self.victims:
+            raise AttackError(
+                f"spray produced only {len(self.targets)} usable "
+                f"victim/aggressor L1PT triples; increase spray_count")
+
+    def run(self, hammer_ns_per_victim: int = 8_000_000):
+        from .base import AttackOutcome, _pt_view
+        from ..kernel.vma import PAGE
+        kernel = self.kernel
+        self._snapshots = {
+            victim: kernel.dram.raw_read(victim << 12, PAGE)
+            for victim, _ in self.targets
+        }
+        start = kernel.clock.now_ns
+        for victim, entries in self.targets:
+            window = kernel.dram.timings.refresh_window_ns
+            into = kernel.clock.now_ns % window
+            if into + hammer_ns_per_victim > window:
+                kernel.clock.advance(window - into)
+            page_walk_hammer(kernel, self.process, entries,
+                             hammer_ns_per_victim)
+        flip_events = 0
+        flipped = []
+        for victim, _ in self.targets:
+            after = kernel.dram.raw_read(victim << 12, PAGE)
+            events = [f for f in kernel.dram.flips_in_page(victim)
+                      if f.at_ns >= start]
+            flip_events += len(events)
+            if _pt_view(after) != _pt_view(self._snapshots[victim]) or events:
+                flipped.append(victim)
+        return AttackOutcome(
+            attack=self.name,
+            machine=kernel.spec.name,
+            m=self.victims,
+            hammer_time_ns=kernel.clock.now_ns - start,
+            targeted_pt_pages=[v for v, _ in self.targets],
+            flipped_pt_pages=flipped,
+            flip_events_in_pts=flip_events,
+            softtrr_loaded=kernel.module("softtrr") is not None,
+        )

@@ -1,0 +1,42 @@
+"""SoftTRR: software-only target row refresh (the paper's contribution).
+
+The module mirrors the paper's Figure 1 decomposition:
+
+* :mod:`repro.core.rbtree` / :mod:`repro.core.ringbuf` — the kernel-style
+  data structures of Table I (three red-black trees + ``pte_ringbuf``).
+* :mod:`repro.core.structures` — the node payloads (``bank_struct`` etc.)
+  and their slab-backed memory accounting.
+* :mod:`repro.core.profile` — the offline profile of Section IV-E
+  (``threshold = tRC x #ACT`` -> ``timer_inr`` / ``count_limit``).
+* :mod:`repro.core.collector` — the Page Table Collector.
+* :mod:`repro.core.tracer` — the Adjacent Page Tracer (plus the doomed
+  present-bit variant the paper explains it rejected).
+* :mod:`repro.core.refresher` — the Row Refresher.
+* :mod:`repro.core.softtrr` — the loadable-module facade
+  (:class:`~repro.core.softtrr.SoftTrr`).
+"""
+
+from .rbtree import RbTree
+from .ringbuf import PteRingBuffer, PteRef
+from .structures import BankStruct, PtRowEntry, SoftTrrStructures
+from .profile import OfflineProfile, SoftTrrParams
+from .collector import PageTableCollector
+from .tracer import AdjacentPageTracer, PresentBitTracer
+from .refresher import RowRefresher
+from .softtrr import SoftTrr
+
+__all__ = [
+    "RbTree",
+    "PteRingBuffer",
+    "PteRef",
+    "BankStruct",
+    "PtRowEntry",
+    "SoftTrrStructures",
+    "OfflineProfile",
+    "SoftTrrParams",
+    "PageTableCollector",
+    "AdjacentPageTracer",
+    "PresentBitTracer",
+    "RowRefresher",
+    "SoftTrr",
+]

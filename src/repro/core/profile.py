@@ -1,0 +1,116 @@
+"""The offline profile of Section IV-E.
+
+SoftTRR picks its two runtime parameters — the tracer timer interval
+``timer_inr`` and the charge-leak limit ``count_limit`` — from DRAM
+characteristics measured offline:
+
+* ``threshold = tRC x #ACT`` is the shortest time in which hammering can
+  produce a first bit flip (tRC ~= 50 ns, #ACT ~= 20 K on both DDR3 and
+  DDR4 once ChipTRR forces DDR4 attacks to split across >= 2 aggressors);
+* the tracer counts at most one access per traced page per timer
+  interval, so the maximum unprotected hammer window is
+  ``timer_inr x (count_limit - 1)``;
+* both parameters are unsigned integers and ``count_limit`` must be
+  >= 2 (a limit of 1 would refresh on every ordinary access), giving
+  ``timer_inr = 1 ms`` and ``count_limit = 2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..clock import NS_PER_MS
+from ..dram.timing import DramTimings
+from ..errors import ConfigError
+from .ringbuf import DEFAULT_CAPACITY
+
+#: Activation count to first flip the profile assumes (Section IV-E).
+DEFAULT_ACT_TO_FIRST_FLIP = 20_000
+
+
+@dataclass(frozen=True)
+class SoftTrrParams:
+    """Runtime configuration of the SoftTRR module."""
+
+    #: Tracked adjacency distance: 1 reproduces the ZebRAM-style +-1
+    #: assumption (Delta+-1), 6 is the paper's default (Delta+-6).
+    max_distance: int = 6
+    timer_inr_ns: int = NS_PER_MS
+    count_limit: int = 2
+    ringbuf_capacity: int = DEFAULT_CAPACITY
+    #: Which PTE bit the tracer abuses: "rsvd" (the paper's choice) or
+    #: "present" (the rejected design that panics the kernel under fork).
+    trace_bit: str = "rsvd"
+    #: Page-table levels to protect.  (1,) is the paper's implementation
+    #: (all existing attacks target L1PTs); (1, 2) enables the Section
+    #: VII extension that also protects L2 (PMD) pages.
+    protect_levels: tuple = (1,)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.max_distance <= 6:
+            raise ConfigError("max_distance must be within [1, 6] (Kim et al.)")
+        if not set(self.protect_levels) <= {1, 2} or 1 not in self.protect_levels:
+            raise ConfigError(
+                "protect_levels must include 1 and may add 2 (Section VII)")
+        if self.timer_inr_ns <= 0:
+            raise ConfigError("timer_inr must be positive")
+        if self.count_limit < 2:
+            raise ConfigError(
+                "count_limit must be >= 2: a limit of 1 refreshes on every "
+                "ordinary access (Section IV-D)"
+            )
+        if self.trace_bit not in ("rsvd", "present"):
+            raise ConfigError("trace_bit must be 'rsvd' or 'present'")
+
+    @property
+    def protection_window_ns(self) -> int:
+        """Max unprotected hammer time: timer_inr x (count_limit - 1)."""
+        return self.timer_inr_ns * (self.count_limit - 1)
+
+    def with_distance(self, max_distance: int) -> "SoftTrrParams":
+        """This configuration at a different adjacency distance."""
+        return replace(self, max_distance=max_distance)
+
+
+@dataclass(frozen=True)
+class OfflineProfile:
+    """Derives :class:`SoftTrrParams` from DRAM characteristics."""
+
+    timings: DramTimings
+    act_to_first_flip: int = DEFAULT_ACT_TO_FIRST_FLIP
+
+    def threshold_ns(self) -> int:
+        """threshold = tRC x #ACT: the minimum time to a first flip."""
+        return self.timings.t_rc_ns * self.act_to_first_flip
+
+    def derive(self, *, max_distance: int = 6,
+               ringbuf_capacity: int = DEFAULT_CAPACITY) -> SoftTrrParams:
+        """Pick (timer_inr, count_limit) under the safety equation.
+
+        ``timer_inr x (count_limit - 1) <= threshold`` with integral
+        parameters, count_limit >= 2 and timer_inr maximal at whole
+        milliseconds (coarser timers cost less).  With the paper's
+        numbers this lands exactly on timer_inr = 1 ms, count_limit = 2.
+        """
+        threshold = self.threshold_ns()
+        # Largest whole-millisecond timer not exceeding the threshold.
+        timer_ms = max(1, threshold // NS_PER_MS)
+        timer_inr = min(timer_ms, threshold) * NS_PER_MS \
+            if threshold >= NS_PER_MS else threshold
+        timer_inr = min(timer_inr, threshold)
+        count_limit = 2
+        if timer_inr * (count_limit - 1) > threshold:
+            raise ConfigError(
+                "cannot satisfy the safety equation with integral parameters"
+            )
+        return SoftTrrParams(
+            max_distance=max_distance,
+            timer_inr_ns=int(timer_inr),
+            count_limit=count_limit,
+            ringbuf_capacity=ringbuf_capacity,
+        )
+
+    def is_safe(self, params: SoftTrrParams) -> bool:
+        """Whether a configuration keeps the unprotected window below
+        the time-to-first-flip."""
+        return params.protection_window_ns <= self.threshold_ns()

@@ -1,0 +1,344 @@
+"""Red-black tree, implemented from scratch in kernel style.
+
+SoftTRR "reuse[s] the kernel's red-black tree structure, an efficient
+self-balancing binary search tree that guarantees searching in
+Theta(log n) time" (Section IV-A) for ``pt_rbtree``, ``adj_rbtree`` and
+``pt_row_rbtree``.  This is a faithful CLRS-style implementation with
+insert, delete, search, min/iteration and the classic invariants:
+
+1. every node is red or black;
+2. the root is black;
+3. red nodes have black children;
+4. every root-to-leaf path has the same number of black nodes.
+
+The tree maps an integer key (PPN or row index) to an arbitrary value.
+An optional ``on_alloc``/``on_free`` pair lets the owner charge node
+allocations to a slab cache, which is how the Fig. 4 memory accounting
+is wired up.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional, Tuple
+
+RED = True
+BLACK = False
+
+
+class _Node:
+    __slots__ = ("key", "value", "color", "left", "right", "parent")
+
+    def __init__(self, key: int, value: Any) -> None:
+        self.key = key
+        self.value = value
+        self.color = RED
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+        self.parent: Optional[_Node] = None
+
+
+class RbTree:
+    """An int-keyed red-black tree."""
+
+    def __init__(
+        self,
+        on_alloc: Optional[Callable[[], Any]] = None,
+        on_free: Optional[Callable[[Any], None]] = None,
+    ) -> None:
+        self._root: Optional[_Node] = None
+        self._size = 0
+        self._on_alloc = on_alloc
+        self._on_free = on_free
+        self._handles: dict = {}
+
+    # ------------------------------------------------------------- lookup
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: int) -> bool:
+        return self._find(key) is not None
+
+    def get(self, key: int, default: Any = None) -> Any:
+        """Value stored under ``key``, or ``default``."""
+        node = self._find(key)
+        return node.value if node is not None else default
+
+    def _find(self, key: int) -> Optional[_Node]:
+        node = self._root
+        while node is not None:
+            if key == node.key:
+                return node
+            node = node.left if key < node.key else node.right
+        return None
+
+    def min_key(self) -> Optional[int]:
+        """Smallest key, or None when empty."""
+        node = self._root
+        if node is None:
+            return None
+        while node.left is not None:
+            node = node.left
+        return node.key
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        """In-order (key, value) iteration."""
+        stack = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.value
+            node = node.right
+
+    def keys(self) -> Iterator[int]:
+        """In-order key iteration."""
+        for key, _ in self.items():
+            yield key
+
+    # ------------------------------------------------------------- insert
+    def insert(self, key: int, value: Any) -> bool:
+        """Insert or update; returns True if a new node was created."""
+        parent = None
+        node = self._root
+        while node is not None:
+            parent = node
+            if key == node.key:
+                node.value = value
+                return False
+            node = node.left if key < node.key else node.right
+        fresh = _Node(key, value)
+        fresh.parent = parent
+        if parent is None:
+            self._root = fresh
+        elif key < parent.key:
+            parent.left = fresh
+        else:
+            parent.right = fresh
+        self._size += 1
+        if self._on_alloc is not None:
+            self._handles[key] = self._on_alloc()
+        self._insert_fixup(fresh)
+        return True
+
+    def _rotate_left(self, x: _Node) -> None:
+        y = x.right
+        x.right = y.left
+        if y.left is not None:
+            y.left.parent = x
+        y.parent = x.parent
+        if x.parent is None:
+            self._root = y
+        elif x is x.parent.left:
+            x.parent.left = y
+        else:
+            x.parent.right = y
+        y.left = x
+        x.parent = y
+
+    def _rotate_right(self, x: _Node) -> None:
+        y = x.left
+        x.left = y.right
+        if y.right is not None:
+            y.right.parent = x
+        y.parent = x.parent
+        if x.parent is None:
+            self._root = y
+        elif x is x.parent.right:
+            x.parent.right = y
+        else:
+            x.parent.left = y
+        y.right = x
+        x.parent = y
+
+    def _insert_fixup(self, z: _Node) -> None:
+        while z.parent is not None and z.parent.color is RED:
+            grand = z.parent.parent
+            if grand is None:
+                break
+            if z.parent is grand.left:
+                uncle = grand.right
+                if uncle is not None and uncle.color is RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    z = grand
+                else:
+                    if z is z.parent.right:
+                        z = z.parent
+                        self._rotate_left(z)
+                    z.parent.color = BLACK
+                    grand.color = RED
+                    self._rotate_right(grand)
+            else:
+                uncle = grand.left
+                if uncle is not None and uncle.color is RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    z = grand
+                else:
+                    if z is z.parent.left:
+                        z = z.parent
+                        self._rotate_right(z)
+                    z.parent.color = BLACK
+                    grand.color = RED
+                    self._rotate_left(grand)
+        if self._root is not None:
+            self._root.color = BLACK
+
+    # ------------------------------------------------------------- delete
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; returns True if it existed."""
+        node = self._find(key)
+        if node is None:
+            return False
+        self._delete_node(node)
+        self._size -= 1
+        if self._on_free is not None:
+            handle = self._handles.pop(key, None)
+            if handle is not None:
+                self._on_free(handle)
+        return True
+
+    def pop(self, key: int, default: Any = None) -> Any:
+        """Remove ``key`` and return its value (or ``default``)."""
+        node = self._find(key)
+        if node is None:
+            return default
+        value = node.value
+        self.delete(key)
+        return value
+
+    def _transplant(self, u: _Node, v: Optional[_Node]) -> None:
+        if u.parent is None:
+            self._root = v
+        elif u is u.parent.left:
+            u.parent.left = v
+        else:
+            u.parent.right = v
+        if v is not None:
+            v.parent = u.parent
+
+    @staticmethod
+    def _minimum(node: _Node) -> _Node:
+        while node.left is not None:
+            node = node.left
+        return node
+
+    def _delete_node(self, z: _Node) -> None:
+        y = z
+        y_color = y.color
+        if z.left is None:
+            x, x_parent = z.right, z.parent
+            self._transplant(z, z.right)
+        elif z.right is None:
+            x, x_parent = z.left, z.parent
+            self._transplant(z, z.left)
+        else:
+            y = self._minimum(z.right)
+            y_color = y.color
+            x = y.right
+            if y.parent is z:
+                x_parent = y
+            else:
+                x_parent = y.parent
+                self._transplant(y, y.right)
+                y.right = z.right
+                y.right.parent = y
+            self._transplant(z, y)
+            y.left = z.left
+            y.left.parent = y
+            y.color = z.color
+        if y_color is BLACK:
+            self._delete_fixup(x, x_parent)
+
+    def _delete_fixup(self, x: Optional[_Node], parent: Optional[_Node]) -> None:
+        while x is not self._root and (x is None or x.color is BLACK):
+            if parent is None:
+                break
+            if x is parent.left:
+                w = parent.right
+                if w is not None and w.color is RED:
+                    w.color = BLACK
+                    parent.color = RED
+                    self._rotate_left(parent)
+                    w = parent.right
+                if w is None:
+                    x, parent = parent, parent.parent
+                    continue
+                w_left_black = w.left is None or w.left.color is BLACK
+                w_right_black = w.right is None or w.right.color is BLACK
+                if w_left_black and w_right_black:
+                    w.color = RED
+                    x, parent = parent, parent.parent
+                else:
+                    if w_right_black:
+                        if w.left is not None:
+                            w.left.color = BLACK
+                        w.color = RED
+                        self._rotate_right(w)
+                        w = parent.right
+                    w.color = parent.color
+                    parent.color = BLACK
+                    if w.right is not None:
+                        w.right.color = BLACK
+                    self._rotate_left(parent)
+                    x = self._root
+                    parent = None
+            else:
+                w = parent.left
+                if w is not None and w.color is RED:
+                    w.color = BLACK
+                    parent.color = RED
+                    self._rotate_right(parent)
+                    w = parent.left
+                if w is None:
+                    x, parent = parent, parent.parent
+                    continue
+                w_left_black = w.left is None or w.left.color is BLACK
+                w_right_black = w.right is None or w.right.color is BLACK
+                if w_left_black and w_right_black:
+                    w.color = RED
+                    x, parent = parent, parent.parent
+                else:
+                    if w_left_black:
+                        if w.right is not None:
+                            w.right.color = BLACK
+                        w.color = RED
+                        self._rotate_left(w)
+                        w = parent.left
+                    w.color = parent.color
+                    parent.color = BLACK
+                    if w.left is not None:
+                        w.left.color = BLACK
+                    self._rotate_right(parent)
+                    x = self._root
+                    parent = None
+        if x is not None:
+            x.color = BLACK
+
+    # --------------------------------------------------------- invariants
+    def check_invariants(self) -> None:
+        """Assert all four red-black invariants (used by tests)."""
+        if self._root is None:
+            return
+        assert self._root.color is BLACK, "root must be black"
+
+        def walk(node: Optional[_Node], lo, hi) -> int:
+            if node is None:
+                return 1
+            assert (lo is None or node.key > lo) and (
+                hi is None or node.key < hi
+            ), "BST ordering violated"
+            if node.color is RED:
+                for child in (node.left, node.right):
+                    assert child is None or child.color is BLACK, \
+                        "red node has red child"
+            left_black = walk(node.left, lo, node.key)
+            right_black = walk(node.right, node.key, hi)
+            assert left_black == right_black, "black-height mismatch"
+            return left_black + (1 if node.color is BLACK else 0)
+
+        walk(self._root, None, None)

@@ -1,0 +1,67 @@
+"""The Row Refresher (Section IV-D).
+
+Dormant until a charge-leak counter reaches ``count_limit``; then it
+reconstructs a physical address from the (bank, row) indexes recorded in
+``pt_row_rbtree``, finds the kernel virtual address through the
+direct-physical map, flushes the CPU cache for it and *reads* it —
+"a read-access to a row can automatically recharge the row and prevent
+potential bit flips" — and finally resets ``leak_count`` to 0.
+
+In the simulation the read's row activation heals the disturbance
+accumulator via the DRAM model; the explicit ``refresh_row`` call after
+the read guarantees the recharge even in the corner case where the row
+buffer still held the row open (on real hardware the surrounding bank
+traffic closes it)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .profile import SoftTrrParams
+from .structures import SoftTrrStructures
+
+
+class RowRefresher:
+    """Refreshes L1PT rows whose charge-leak counters hit the limit."""
+
+    def __init__(self, kernel, structures: SoftTrrStructures,
+                 params: SoftTrrParams) -> None:
+        self.kernel = kernel
+        self.structs = structures
+        self.params = params
+        self.mapping = kernel.dram.mapping
+        self.refreshes = 0
+        self.leak_bumps = 0
+        #: (bank, row, at_ns) log for diagnostics / benches.
+        self.refresh_log: List[Tuple[int, int, int]] = []
+
+    def on_adjacent_access(self, bank: int, row: int) -> int:
+        """An adjacent row was accessed: bump nearby PT rows' counters.
+
+        Returns the number of rows refreshed as a consequence.
+        """
+        refreshed = 0
+        for pt_row, bank_struct in self.structs.pt_rows_near(
+                row, bank, self.params.max_distance):
+            bank_struct.leak_count += 1
+            self.leak_bumps += 1
+            if bank_struct.leak_count >= self.params.count_limit:
+                self.refresh(bank, pt_row)
+                bank_struct.leak_count = 0
+                refreshed += 1
+        return refreshed
+
+    def refresh(self, bank: int, row: int) -> None:
+        """Recharge one DRAM row holding L1PT pages."""
+        kernel = self.kernel
+        paddr = self.mapping.dram_to_phys(bank, row, 0)
+        kvaddr = kernel.kvaddr_of(paddr)
+        # clflush + read through the direct map: the read's activation
+        # recharges the row in the DRAM model.
+        kernel.mmu.clflush(paddr)
+        kernel.kernel_read(kvaddr, 8)
+        kernel.dram.refresh_row(bank, row)
+        kernel.clock.advance(kernel.cost.row_refresh_ns)
+        kernel.accountant.charge("softtrr_refresh", kernel.cost.row_refresh_ns)
+        self.refreshes += 1
+        self.refresh_log.append((bank, row, kernel.clock.now_ns))

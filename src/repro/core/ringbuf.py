@@ -1,0 +1,161 @@
+"""The ``pte_ringbuf`` of Table I / Section IV-C.
+
+The tracer stores captured leaf-PTE references in a pre-allocated ring
+buffer with ``head`` and ``tail`` pointers:
+
+* pushing a PTE advances ``head``;
+* consuming (re-arming) a PTE advances ``tail``;
+* head == tail means empty;
+* "When the node number between the tail and the head pointers is no
+  less than 80% of the total node number of the ring buffer, the tracer
+  allocates a larger ring buffer (e.g., four times of the old ring
+  buffer size)" — new pushes land in the new buffer, and "the old ring
+  buffer will be freed when its stored PTEs are all consumed".
+
+The paper's pre-allocated buffer is 396 KiB; with 24-byte entries
+(pte pointer, vaddr, mm pointer) that is 16 896 entries, which is the
+default capacity here.  The capacity bytes feed the Fig. 4 memory
+accounting directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import SoftTrrError
+
+#: Bytes per ring node: pte pointer + vaddr + mm pointer (Table I).
+ENTRY_BYTES = 24
+
+#: 396 KiB pre-allocation / 24 B = 16 896 entries (Section VI-B).
+DEFAULT_CAPACITY = (396 * 1024) // ENTRY_BYTES
+
+GROW_FACTOR = 4
+GROW_WATERMARK = 0.8
+
+
+@dataclass(frozen=True)
+class PteRef:
+    """One ring node: where a traced leaf PTE lives and whom it maps.
+
+    ``ppn`` records the traced physical page so a stale reference (the
+    mapping changed between capture and re-arm) can be detected and
+    dropped instead of arming an unrelated page.
+    """
+
+    pte_paddr: int
+    vaddr: int
+    pid: int
+    ppn: int = 0
+    #: 1 for an L1PT entry, 2 for an L2 (huge-page) entry.
+    leaf_level: int = 1
+
+
+class _Ring:
+    """One fixed-capacity ring with head/tail pointers."""
+
+    __slots__ = ("slots", "head", "tail", "capacity")
+
+    def __init__(self, capacity: int) -> None:
+        # One slot is sacrificed to distinguish full from empty.
+        self.capacity = capacity
+        self.slots: List[Optional[PteRef]] = [None] * capacity
+        self.head = 0
+        self.tail = 0
+
+    def __len__(self) -> int:
+        return (self.head - self.tail) % self.capacity
+
+    def is_empty(self) -> bool:
+        return self.head == self.tail
+
+    def is_full(self) -> bool:
+        return (self.head + 1) % self.capacity == self.tail
+
+    def push(self, ref: PteRef) -> None:
+        if self.is_full():
+            raise SoftTrrError("ring overflow (grow logic failed)")
+        self.slots[self.head] = ref
+        self.head = (self.head + 1) % self.capacity
+
+    def pop(self) -> PteRef:
+        if self.is_empty():
+            raise SoftTrrError("pop from empty ring")
+        ref = self.slots[self.tail]
+        self.slots[self.tail] = None
+        self.tail = (self.tail + 1) % self.capacity
+        return ref
+
+
+class PteRingBuffer:
+    """The growable generational ring buffer of Section IV-C.
+
+    Pushes land in the newest ring; when it passes the 80 % watermark a
+    4x-larger ring is allocated for subsequent pushes.  Pops consume the
+    oldest ring first, and a fully drained old ring is freed ("the old
+    ring buffer will be freed when its stored PTEs are all consumed").
+    In steady state exactly one ring is live; sustained bursts simply
+    chain additional generations.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 8:
+            raise SoftTrrError("ring buffer capacity implausibly small")
+        self._rings: List[_Ring] = [_Ring(capacity)]
+        self.grow_events = 0
+        self.total_pushed = 0
+        self.total_popped = 0
+
+    # ------------------------------------------------------------- state
+    def __len__(self) -> int:
+        return sum(len(ring) for ring in self._rings)
+
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+    def capacity(self) -> int:
+        """Total node slots currently allocated."""
+        return sum(ring.capacity for ring in self._rings)
+
+    def capacity_bytes(self) -> int:
+        """Allocated footprint (what Fig. 4 counts for the ring)."""
+        return self.capacity() * ENTRY_BYTES
+
+    # -------------------------------------------------------------- push
+    def push(self, ref: PteRef) -> None:
+        """Insert a captured PTE at the head of the newest ring."""
+        newest = self._rings[-1]
+        if len(newest) / newest.capacity >= GROW_WATERMARK:
+            self.grow_events += 1
+            newest = _Ring(newest.capacity * GROW_FACTOR)
+            self._rings.append(newest)
+        newest.push(ref)
+        self.total_pushed += 1
+
+    # --------------------------------------------------------------- pop
+    def pop(self) -> Optional[PteRef]:
+        """Consume the least recently inserted PTE (oldest ring first)."""
+        while self._rings:
+            oldest = self._rings[0]
+            if oldest.is_empty():
+                if len(self._rings) == 1:
+                    return None
+                self._rings.pop(0)  # "freed when ... all consumed"
+                continue
+            self.total_popped += 1
+            ref = oldest.pop()
+            if oldest.is_empty() and len(self._rings) > 1:
+                self._rings.pop(0)
+            return ref
+        return None  # pragma: no cover - rings list never empties
+
+    def drain(self, limit: Optional[int] = None):
+        """Pop up to ``limit`` refs (all, if None); yields them."""
+        count = 0
+        while limit is None or count < limit:
+            ref = self.pop()
+            if ref is None:
+                return
+            count += 1
+            yield ref

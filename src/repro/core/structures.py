@@ -1,0 +1,173 @@
+"""SoftTRR's bookkeeping structures (Table I) with slab accounting.
+
+Three red-black trees and their node payloads:
+
+* ``pt_rbtree``   — key: PPN of an L1PT page.
+* ``adj_rbtree``  — key: PPN of a page adjacent to an L1PT page (a
+  staging area: nodes are freed once the tracer has armed the page).
+* ``pt_row_rbtree`` — key: DRAM row index; the value holds one
+  ``bank_struct`` per bank in which that row hosts L1PT pages, each with
+  ``pt_count`` (how many L1PT pages share the bank/row) and
+  ``leak_count`` (the charge-leak counter of Section III-C).
+
+Every node allocation goes through a :class:`~repro.kernel.slab.SlabCache`
+so the Fig. 4 memory-consumption curves fall out of real allocator
+state.  Node sizes are realistic for the kernel structs they model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..kernel.slab import SlabCache
+from .rbtree import RbTree
+
+#: Realistic sizes of the kernel structs (rb_node + payload).
+PT_NODE_BYTES = 48
+ADJ_NODE_BYTES = 48
+PT_ROW_NODE_BYTES = 64
+BANK_STRUCT_BYTES = 24
+
+
+@dataclass
+class BankStruct:
+    """Per-(row, bank) L1PT bookkeeping (Table I)."""
+
+    bank_index: int
+    pt_count: int = 0
+    leak_count: int = 0
+
+
+class PtRowEntry:
+    """Value of a ``pt_row_rbtree`` node: one or more bank structs."""
+
+    __slots__ = ("banks",)
+
+    def __init__(self) -> None:
+        self.banks: Dict[int, BankStruct] = {}
+
+    def bank(self, bank_index: int) -> Optional[BankStruct]:
+        """The bank struct for ``bank_index``, or None."""
+        return self.banks.get(bank_index)
+
+    def ensure_bank(self, bank_index: int) -> BankStruct:
+        """Get-or-create the bank struct for ``bank_index``."""
+        entry = self.banks.get(bank_index)
+        if entry is None:
+            entry = BankStruct(bank_index=bank_index)
+            self.banks[bank_index] = entry
+        return entry
+
+    def total_pt_count(self) -> int:
+        """Sum of pt_count across banks (0 means the node can die)."""
+        return sum(b.pt_count for b in self.banks.values())
+
+
+class SoftTrrStructures:
+    """The three trees plus their slab caches, as one unit.
+
+    ``remap`` is the module's in-DRAM row remapping, consumed as offline
+    domain knowledge (Section III-A): adjacency queries translate
+    through it so "near" means *physically* near.  ``None`` falls back
+    to identity arithmetic (logical == physical).
+    """
+
+    def __init__(self, remap=None) -> None:
+        self.remap = remap
+        self.pt_slab = SlabCache("softtrr_pt_node", PT_NODE_BYTES)
+        self.adj_slab = SlabCache("softtrr_adj_node", ADJ_NODE_BYTES)
+        self.row_slab = SlabCache("softtrr_row_node", PT_ROW_NODE_BYTES)
+        self.bank_slab = SlabCache("softtrr_bank_struct", BANK_STRUCT_BYTES)
+        self.pt_rbtree = RbTree(on_alloc=self.pt_slab.alloc,
+                                on_free=self.pt_slab.free)
+        self.adj_rbtree = RbTree(on_alloc=self.adj_slab.alloc,
+                                 on_free=self.adj_slab.free)
+        self.pt_row_rbtree = RbTree(on_alloc=self.row_slab.alloc,
+                                    on_free=self.row_slab.free)
+        #: bank-struct slab handles keyed by (row, bank).
+        self._bank_handles: Dict[Tuple[int, int], int] = {}
+
+    # --------------------------------------------------------- pt rows
+    def add_pt_location(self, row: int, bank: int) -> BankStruct:
+        """Record one L1PT page occupying (bank, row)."""
+        entry = self.pt_row_rbtree.get(row)
+        if entry is None:
+            entry = PtRowEntry()
+            self.pt_row_rbtree.insert(row, entry)
+        bank_struct = entry.bank(bank)
+        if bank_struct is None:
+            bank_struct = entry.ensure_bank(bank)
+            self._bank_handles[(row, bank)] = self.bank_slab.alloc()
+        bank_struct.pt_count += 1
+        return bank_struct
+
+    def remove_pt_location(self, row: int, bank: int) -> None:
+        """Drop one L1PT page from (bank, row); reap empty structures."""
+        entry = self.pt_row_rbtree.get(row)
+        if entry is None:
+            return
+        bank_struct = entry.bank(bank)
+        if bank_struct is None:
+            return
+        bank_struct.pt_count -= 1
+        if bank_struct.pt_count <= 0:
+            del entry.banks[bank]
+            handle = self._bank_handles.pop((row, bank), None)
+            if handle is not None:
+                self.bank_slab.free(handle)
+        if not entry.banks:
+            self.pt_row_rbtree.delete(row)
+
+    def bank_struct(self, row: int, bank: int) -> Optional[BankStruct]:
+        """The bank struct at (row, bank), or None."""
+        entry = self.pt_row_rbtree.get(row)
+        if entry is None:
+            return None
+        return entry.bank(bank)
+
+    def neighbor_rows(self, row: int, distance: int) -> List[int]:
+        """Rows physically exactly ``distance`` from ``row``."""
+        if self.remap is not None:
+            return self.remap.neighbors_at(row, distance)
+        return [row - distance, row + distance]
+
+    def pt_rows_near(self, row: int, bank: int, max_distance: int
+                     ) -> Iterator[Tuple[int, BankStruct]]:
+        """(pt_row, bank_struct) pairs physically within ``max_distance``
+        of ``row``.
+
+        Distance 0 is excluded: an access to a row recharges that row,
+        it does not disturb it.
+        """
+        for distance in range(1, max_distance + 1):
+            for candidate in self.neighbor_rows(row, distance):
+                bank_struct = self.bank_struct(candidate, bank)
+                if bank_struct is not None:
+                    yield candidate, bank_struct
+
+    def has_pt_near(self, row: int, bank: int, max_distance: int) -> bool:
+        """Whether any L1PT row lies within ``max_distance`` of ``row``."""
+        for _ in self.pt_rows_near(row, bank, max_distance):
+            return True
+        return False
+
+    # ------------------------------------------------------------ memory
+    def memory_bytes(self) -> int:
+        """Slab footprint of the three trees (page-granular, like
+        /proc/slabinfo; the ring buffer is counted by its owner)."""
+        return (
+            self.pt_slab.bytes_held()
+            + self.adj_slab.bytes_held()
+            + self.row_slab.bytes_held()
+            + self.bank_slab.bytes_held()
+        )
+
+    def live_node_bytes(self) -> int:
+        """Object-granular footprint (for finer-grained reporting)."""
+        return (
+            self.pt_slab.bytes_live()
+            + self.adj_slab.bytes_live()
+            + self.row_slab.bytes_live()
+            + self.bank_slab.bytes_live()
+        )

@@ -1,0 +1,59 @@
+"""ALIS [47]: DMA-buffer isolation with guard rows.
+
+Section VII's integration sketch: "ALIS on x86 physically isolates DMA
+memory using guard rows and bit flips are thus confined to DMA memory of
+attackers."  ALIS was built against Throwhammer (remote rowhammer over
+RDMA buffers); in this stack the user-mappable DMA memory is the SCSI-
+generic driver buffer — precisely the aggressor CATTmew rides.
+
+The model: SG-buffer frames come from a dedicated region separated from
+everything else (page tables included) by guard rows wider than the
+blast radius.  Consequences, asserted in tests:
+
+* CATTmew dies structurally: the kernel refuses to place an L1PT on an
+  SG-region frame, and no SG frame ever neighbours a page-table row;
+* Memory Spray is untouched (ALIS isolates DMA memory, nothing else) —
+  the complementarity argument for running ALIS *with* SoftTRR.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..kernel.buddy import BuddyAllocator
+from ..kernel.physmem import FrameUse
+from .base import Defense
+from .catt import RegionPolicy, _guard_frames
+
+#: Fraction of managed frames reserved for DMA buffers.
+DMA_FRACTION = 0.15
+
+
+class AlisDefense(Defense):
+    """ALIS as a bootable defense configuration."""
+
+    name = "alis"
+    summary = "DMA-buffer isolation with guard rows [47]"
+
+    def __init__(self, dma_fraction: float = DMA_FRACTION,
+                 guard_rows: int = 8) -> None:
+        self.dma_fraction = dma_fraction
+        self.guard_rows = guard_rows
+        self.policy: Optional[RegionPolicy] = None
+
+    def frame_policy_factory(self):
+        def factory(default_buddy: BuddyAllocator, kernel) -> RegionPolicy:
+            start = default_buddy.start_ppn
+            total = default_buddy.frame_count
+            guard = _guard_frames(kernel, self.guard_rows)
+            dma_count = int(total * self.dma_fraction)
+            common_count = total - dma_count - guard
+            dma_start = start + common_count + guard
+            self.policy = RegionPolicy([
+                ("common", start, common_count,
+                 {FrameUse.USER, FrameUse.KERNEL, FrameUse.PAGE_TABLE}),
+                ("dma", dma_start, dma_count, {FrameUse.SG_BUFFER}),
+            ])
+            return self.policy
+
+        return factory

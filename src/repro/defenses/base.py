@@ -1,0 +1,105 @@
+"""Common defense interface and kernel-boot helper.
+
+A defense can contribute two things:
+
+* a *frame-placement policy* (allocator modification — what CATT, CTA
+  and ZebRAM are), installed at boot; and/or
+* a *module* installed after boot (what ANVIL and SoftTRR are).
+
+``boot_kernel(spec, defense)`` builds a machine with both applied, which
+is what the security benches iterate over.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..config import MachineSpec
+from ..core.profile import SoftTrrParams
+from ..core.softtrr import SoftTrr
+from ..kernel.kernel import Kernel
+
+
+class Defense:
+    """Interface for a deployable defense configuration."""
+
+    name = "abstract"
+    #: Short description used by report tables.
+    summary = ""
+
+    def frame_policy_factory(self) -> Optional[Callable]:
+        """Factory passed to :class:`Kernel` (None = vanilla allocator)."""
+        return None
+
+    def install(self, kernel: Kernel) -> None:
+        """Post-boot installation (module load, timers...)."""
+
+    def module_name(self) -> Optional[str]:
+        """Name under which :meth:`install` registered a module."""
+        return None
+
+
+class NoDefense(Defense):
+    """The vanilla system (the Table II 'attack succeeds' baseline)."""
+
+    name = "vanilla"
+    summary = "unmodified kernel and allocator"
+
+
+class SoftTrrDefense(Defense):
+    """SoftTRR as a defense configuration (for head-to-head benches)."""
+
+    name = "softtrr"
+    summary = "software-only target row refresh (this paper)"
+
+    def __init__(self, params: Optional[SoftTrrParams] = None) -> None:
+        self.params = params or SoftTrrParams()
+
+    def install(self, kernel: Kernel) -> None:
+        kernel.load_module("softtrr", SoftTrr(self.params))
+        # Let the first tracer tick arm the already-adjacent pages.
+        kernel.clock.advance(2 * self.params.timer_inr_ns)
+        kernel.dispatch_timers()
+
+    def module_name(self) -> Optional[str]:
+        return "softtrr"
+
+
+def boot_kernel(spec: MachineSpec, defense: Optional[Defense] = None) -> Kernel:
+    """Boot a machine with a defense applied (policy + module)."""
+    defense = defense or NoDefense()
+    kernel = Kernel(spec, frame_policy_factory=defense.frame_policy_factory())
+    defense.install(kernel)
+    return kernel
+
+
+def _registry() -> Dict[str, Callable[[], Defense]]:
+    from .anvil import AnvilDefense
+    from .catt import CattDefense
+    from .cta import CtaDefense
+    from .zebram import ZebramDefense
+
+    return {
+        "vanilla": NoDefense,
+        "catt": CattDefense,
+        "cta": CtaDefense,
+        "zebram": ZebramDefense,
+        "anvil": AnvilDefense,
+        "softtrr": SoftTrrDefense,
+    }
+
+
+class _LazyRegistry(dict):
+    """Defense registry resolved lazily to avoid import cycles."""
+
+    def __missing__(self, key):
+        self.update(_registry())
+        return dict.__getitem__(self, key)
+
+    def keys(self):  # pragma: no cover - convenience
+        self.update(_registry())
+        return dict.keys(self)
+
+
+#: name -> Defense factory.
+DEFENSES = _LazyRegistry()

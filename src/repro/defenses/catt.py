@@ -1,0 +1,125 @@
+"""CATT [11]: physical user/kernel isolation with guard rows.
+
+"CATT implements DRAM isolation between user and kernel memory"
+(Section II-C): the allocator is split so user frames and kernel frames
+(including page tables) can never share or neighbour DRAM rows; a guard
+gap wider than the maximum blast radius separates the partitions.
+
+What this stops: Memory Spray — no attacker-accessible page can ever be
+adjacent to an L1PT row, and the kernel will refuse to place a page
+table in the user partition.
+
+What it misses (the paper's Section V-B point): the *SG driver buffer*
+is kernel memory, so CATT's own policy places it inside the kernel
+partition — right next to page tables — while the driver maps it
+user-accessible.  CATTmew hammers straight through the partition.  And
+PThammer needs no attacker-adjacent memory at all.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..errors import DefenseError
+from ..kernel.buddy import BuddyAllocator
+from ..kernel.physmem import FramePolicy, FrameUse
+from .base import Defense
+
+
+class RegionPolicy(FramePolicy):
+    """Frames partitioned into use-restricted regions with guard gaps.
+
+    ``regions`` is a list of (name, start_ppn, frame_count, allowed
+    uses); gaps between regions are never allocated (the guard rows).
+    """
+
+    name = "region"
+
+    def __init__(self, regions: Sequence[Tuple[str, int, int, Set[FrameUse]]]) -> None:
+        self._regions: List[Tuple[str, BuddyAllocator, Set[FrameUse]]] = []
+        for region_name, start, count, uses in regions:
+            self._regions.append(
+                (region_name, BuddyAllocator(start, count), set(uses)))
+
+    def _region_for_use(self, use: FrameUse):
+        for name, buddy, uses in self._regions:
+            if use in uses:
+                return name, buddy
+        raise DefenseError(f"no region accepts {use.value} frames")
+
+    def _region_containing(self, ppn: int):
+        for name, buddy, uses in self._regions:
+            if buddy.contains(ppn):
+                return name, buddy, uses
+        return None
+
+    def alloc(self, use: FrameUse, order: int = 0) -> int:
+        _, buddy = self._region_for_use(use)
+        return buddy.alloc_pages(order)
+
+    def free(self, base_ppn: int, use: FrameUse, order: int = 0) -> None:
+        located = self._region_containing(base_ppn)
+        if located is None:
+            raise DefenseError(f"freeing {base_ppn:#x} outside all regions")
+        located[1].free_pages(base_ppn, order)
+
+    def free_frames(self) -> int:
+        return sum(buddy.free_frames() for _, buddy, _ in self._regions)
+
+    def alloc_specific(self, ppn: int, use: FrameUse) -> int:
+        located = self._region_containing(ppn)
+        if located is None:
+            raise DefenseError(
+                f"frame {ppn:#x} lies in a guard gap — placement refused")
+        name, buddy, uses = located
+        if use not in uses:
+            raise DefenseError(
+                f"placement of a {use.value} frame in the {name!r} region "
+                f"violates the partition")
+        return buddy.alloc_specific(ppn)
+
+    def region_of(self, ppn: int) -> Optional[str]:
+        """Region name containing ``ppn`` (diagnostics/tests)."""
+        located = self._region_containing(ppn)
+        return located[0] if located else None
+
+
+#: Fraction of managed frames given to the kernel partition.
+KERNEL_FRACTION = 0.3
+
+
+def _guard_frames(kernel, guard_rows: int = 8) -> int:
+    """Frames spanning ``guard_rows`` row indexes (across all banks)."""
+    geo = kernel.dram.geometry
+    frames_per_row_index = geo.capacity_bytes // geo.rows_per_bank // 4096
+    return guard_rows * frames_per_row_index
+
+
+class CattDefense(Defense):
+    """CATT as a bootable defense configuration."""
+
+    name = "catt"
+    summary = "user/kernel DRAM partition with guard rows [11]"
+
+    def __init__(self, kernel_fraction: float = KERNEL_FRACTION,
+                 guard_rows: int = 8) -> None:
+        self.kernel_fraction = kernel_fraction
+        self.guard_rows = guard_rows
+        self.policy: Optional[RegionPolicy] = None
+
+    def frame_policy_factory(self):
+        def factory(default_buddy: BuddyAllocator, kernel) -> RegionPolicy:
+            start = default_buddy.start_ppn
+            total = default_buddy.frame_count
+            guard = _guard_frames(kernel, self.guard_rows)
+            kernel_count = int(total * self.kernel_fraction)
+            user_start = start + kernel_count + guard
+            user_count = total - kernel_count - guard
+            self.policy = RegionPolicy([
+                ("kernel", start, kernel_count,
+                 {FrameUse.PAGE_TABLE, FrameUse.KERNEL, FrameUse.SG_BUFFER}),
+                ("user", user_start, user_count, {FrameUse.USER}),
+            ])
+            return self.policy
+
+        return factory

@@ -1,0 +1,56 @@
+"""CTA [52]: a dedicated DRAM region for level-1 page tables.
+
+"CTA provides a dedicated DRAM region for level-1 page tables"
+(Section II-C): L1PTs live in their own partition (plus the monotonic-
+pointer integrity scheme, which matters for exploitation but not for
+the adjacency physics modelled here).  Nothing attacker-accessible —
+user pages *or* SG buffers — can neighbour an L1PT row, so both Memory
+Spray and CATTmew fail at placement.
+
+The blind spot the paper leans on: *L1PTs still neighbour L1PTs inside
+the dedicated region*, and PThammer hammers L1PTEs through page walks —
+the adjacency CTA preserves is exactly the adjacency PThammer needs
+(Section II: "CATT and CTA are vulnerable to ... PThammer").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..kernel.buddy import BuddyAllocator
+from ..kernel.physmem import FrameUse
+from .base import Defense
+from .catt import RegionPolicy, _guard_frames
+
+#: Fraction of managed frames reserved for the L1PT region.
+PT_FRACTION = 0.15
+
+
+class CtaDefense(Defense):
+    """CTA as a bootable defense configuration."""
+
+    name = "cta"
+    summary = "dedicated DRAM region for L1 page tables [52]"
+
+    def __init__(self, pt_fraction: float = PT_FRACTION,
+                 guard_rows: int = 8) -> None:
+        self.pt_fraction = pt_fraction
+        self.guard_rows = guard_rows
+        self.policy: Optional[RegionPolicy] = None
+
+    def frame_policy_factory(self):
+        def factory(default_buddy: BuddyAllocator, kernel) -> RegionPolicy:
+            start = default_buddy.start_ppn
+            total = default_buddy.frame_count
+            guard = _guard_frames(kernel, self.guard_rows)
+            pt_count = int(total * self.pt_fraction)
+            common_count = total - pt_count - guard
+            pt_start = start + common_count + guard
+            self.policy = RegionPolicy([
+                ("common", start, common_count,
+                 {FrameUse.USER, FrameUse.KERNEL, FrameUse.SG_BUFFER}),
+                ("pagetable", pt_start, pt_count, {FrameUse.PAGE_TABLE}),
+            ])
+            return self.policy
+
+        return factory

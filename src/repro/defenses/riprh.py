@@ -1,0 +1,113 @@
+"""RIP-RH [8]: per-process DRAM isolation for sensitive user processes.
+
+The paper's Section VII cites RIP-RH as the existing answer to the
+rowhammer *root*-privilege-escalation attack [19] (flipping opcodes of a
+setuid binary): it "physically isolates sensitive user processes", so no
+attacker-controlled row can neighbour a protected process's frames.
+
+The model: a guarded DRAM region reserved for processes the
+administrator marks *sensitive*; their USER frame allocations come from
+that region, everything else (other users, kernel, page tables, SG
+buffers) from the common region.  Guard rows wider than the maximum
+blast radius separate the two.
+
+What it covers and what it does not (both asserted in tests):
+
+* an unprivileged attacker cannot hammer a sensitive process's code or
+  data — the adjacency simply does not exist;
+* page tables are *not* in the protected region (RIP-RH is a user-data
+  defense), so every Section V page-table attack still works — which is
+  exactly why the paper positions SoftTRR as complementary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..kernel.buddy import BuddyAllocator
+from ..kernel.physmem import FramePolicy, FrameUse
+from .base import Defense
+from .catt import RegionPolicy, _guard_frames
+
+#: Fraction of managed frames reserved for sensitive processes.
+SENSITIVE_FRACTION = 0.2
+
+
+class RipRhPolicy(FramePolicy):
+    """Routes USER frames of sensitive processes to a guarded region."""
+
+    name = "riprh"
+
+    def __init__(self, kernel, regions: RegionPolicy,
+                 sensitive_pids: Set[int]) -> None:
+        self.kernel = kernel
+        self._regions = regions
+        self._sensitive_pids = sensitive_pids
+
+    def _use_for(self, use: FrameUse) -> FrameUse:
+        """Sensitive processes' USER allocations masquerade as the
+        synthetic 'sensitive' routing class (KERNEL slot reused)."""
+        if use is FrameUse.USER:
+            current = self.kernel.current
+            if current is not None and current.pid in self._sensitive_pids:
+                return FrameUse.KERNEL  # routed to the sensitive region
+        return use
+
+    def alloc(self, use: FrameUse, order: int = 0) -> int:
+        return self._regions.alloc(self._use_for(use), order)
+
+    def free(self, base_ppn: int, use: FrameUse, order: int = 0) -> None:
+        self._regions.free(base_ppn, use, order)
+
+    def free_frames(self) -> int:
+        return self._regions.free_frames()
+
+    def alloc_specific(self, ppn: int, use: FrameUse) -> int:
+        return self._regions.alloc_specific(ppn, self._use_for(use))
+
+    def region_of(self, ppn: int) -> Optional[str]:
+        return self._regions.region_of(ppn)
+
+
+class RipRhDefense(Defense):
+    """RIP-RH as a bootable defense configuration.
+
+    Mark processes with :meth:`mark_sensitive` *before* they allocate
+    (as the real system does at exec time for its protected set).
+    """
+
+    name = "riprh"
+    summary = "per-process DRAM isolation for sensitive users [8]"
+
+    def __init__(self, sensitive_fraction: float = SENSITIVE_FRACTION,
+                 guard_rows: int = 8) -> None:
+        self.sensitive_fraction = sensitive_fraction
+        self.guard_rows = guard_rows
+        self.policy: Optional[RipRhPolicy] = None
+        self._sensitive_pids: Set[int] = set()
+
+    def mark_sensitive(self, process) -> None:
+        """Enrol a process in the isolated region."""
+        self._sensitive_pids.add(process.pid)
+
+    def frame_policy_factory(self):
+        def factory(default_buddy: BuddyAllocator, kernel) -> RipRhPolicy:
+            start = default_buddy.start_ppn
+            total = default_buddy.frame_count
+            guard = _guard_frames(kernel, self.guard_rows)
+            sensitive_count = int(total * self.sensitive_fraction)
+            common_count = total - sensitive_count - guard
+            sensitive_start = start + common_count + guard
+            regions = RegionPolicy([
+                # The common region serves everything, including the
+                # KERNEL-class allocations of *non*-sensitive contexts.
+                ("common", start, common_count,
+                 {FrameUse.USER, FrameUse.PAGE_TABLE, FrameUse.SG_BUFFER}),
+                # The guarded region serves the sensitive routing class.
+                ("sensitive", sensitive_start, sensitive_count,
+                 {FrameUse.KERNEL}),
+            ])
+            self.policy = RipRhPolicy(kernel, regions, self._sensitive_pids)
+            return self.policy
+
+        return factory

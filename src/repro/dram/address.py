@@ -1,0 +1,270 @@
+"""Invertible physical<->DRAM address mapping with XOR bank functions.
+
+Real Intel memory controllers map physical-address bits to the DRAM
+(bank, row, column) tuple with undocumented XOR functions; DRAMA [39],
+DRAMDig [50] and others reverse-engineered them via the row-buffer timing
+side channel.  SoftTRR consumes such a mapping as offline domain
+knowledge (Section IV-A: "we leverage a publicly available tool, called
+DRAMA, to reverse-engineer its DRAM address mapping, and embed the
+mapping into the kernel").
+
+The model here is the standard one from that literature:
+
+* every *column* bit and every *row* bit is a plain physical-address bit
+  (``col_bits`` / ``row_bits`` list the positions, LSB first);
+* every *bank* bit is the XOR (parity) of a set of physical-address bits
+  (``bank_masks``).
+
+To let the Row Refresher reconstruct a physical address from a
+(bank, row) pair — Section IV-D: "the refresher leverages them to
+reconstruct a physical address" — the mapping must be invertible.  We
+guarantee that by requiring each bank mask to contain exactly one
+*base bit* that is not a row bit, not a column bit, and not in any other
+mask; inversion then scatters the row/column bits and solves each base
+bit from the requested bank parity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, NamedTuple, Sequence, Tuple
+
+from ..errors import AddressMappingError
+from .geometry import DramGeometry, LINE_SHIFT
+
+
+class DramAddress(NamedTuple):
+    """A DRAM location: (bank, row, column-byte-offset)."""
+
+    bank: int
+    row: int
+    col: int
+
+
+def _parity(value: int) -> int:
+    """Parity (XOR of all bits) of ``value``."""
+    return bin(value).count("1") & 1
+
+
+def _gather_bits(value: int, positions: Sequence[int]) -> int:
+    """Extract the bits of ``value`` at ``positions`` into a packed int."""
+    out = 0
+    for i, pos in enumerate(positions):
+        out |= ((value >> pos) & 1) << i
+    return out
+
+
+def _scatter_bits(packed: int, positions: Sequence[int]) -> int:
+    """Inverse of :func:`_gather_bits`."""
+    out = 0
+    for i, pos in enumerate(positions):
+        out |= ((packed >> i) & 1) << pos
+    return out
+
+
+@dataclass(frozen=True)
+class AddressMapping:
+    """An invertible physical-address to DRAM-address mapping.
+
+    Attributes
+    ----------
+    geometry:
+        The module geometry the mapping must cover.
+    bank_masks:
+        One XOR mask per bank-index bit (LSB first).  Bank bit *i* of a
+        physical address ``p`` is ``parity(p & bank_masks[i])``.
+    row_bits / col_bits:
+        Physical-address bit positions forming the row / column index
+        (LSB first).
+    """
+
+    geometry: DramGeometry
+    bank_masks: Tuple[int, ...]
+    row_bits: Tuple[int, ...]
+    col_bits: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        geo = self.geometry
+        if len(self.bank_masks) != geo.bank_bits:
+            raise AddressMappingError(
+                f"need {geo.bank_bits} bank masks, got {len(self.bank_masks)}"
+            )
+        if len(self.row_bits) != geo.row_bits:
+            raise AddressMappingError(
+                f"need {geo.row_bits} row bits, got {len(self.row_bits)}"
+            )
+        if len(self.col_bits) != geo.col_bits:
+            raise AddressMappingError(
+                f"need {geo.col_bits} column bits, got {len(self.col_bits)}"
+            )
+        all_addr_bits = set(range(geo.addr_bits))
+        row_set, col_set = set(self.row_bits), set(self.col_bits)
+        if row_set & col_set:
+            raise AddressMappingError("row and column bits overlap")
+        # The low LINE_SHIFT bits must be column bits and must not appear
+        # in any bank mask, so one cache line never straddles banks/rows.
+        for low in range(LINE_SHIFT):
+            if low not in col_set:
+                raise AddressMappingError(
+                    f"bit {low} must be a column bit (cache-line contiguity)"
+                )
+        for mask in self.bank_masks:
+            if mask & ((1 << LINE_SHIFT) - 1):
+                raise AddressMappingError("bank masks may not use sub-line bits")
+        # Find the base bit of every mask and check invertibility.
+        base_bits: List[int] = []
+        used = row_set | col_set
+        for i, mask in enumerate(self.bank_masks):
+            if mask == 0:
+                raise AddressMappingError(f"bank mask {i} is empty")
+            candidates = [b for b in range(geo.addr_bits) if (mask >> b) & 1 and b not in used]
+            outside = [b for b in range(mask.bit_length()) if (mask >> b) & 1 and b >= geo.addr_bits]
+            if outside:
+                raise AddressMappingError(
+                    f"bank mask {i} uses bit {outside[0]} beyond the module's "
+                    f"{geo.addr_bits} address bits"
+                )
+            if len(candidates) != 1:
+                raise AddressMappingError(
+                    f"bank mask {i} must have exactly one base bit outside the "
+                    f"row/column bits and other masks, found {candidates}"
+                )
+            base_bits.append(candidates[0])
+            used.add(candidates[0])
+        if used != all_addr_bits:
+            missing = sorted(all_addr_bits - used)
+            raise AddressMappingError(f"address bits {missing} are unmapped")
+        object.__setattr__(self, "_base_bits", tuple(base_bits))
+
+    # ------------------------------------------------------------ forward
+    def phys_to_dram(self, paddr: int) -> DramAddress:
+        """Map a physical byte address to its DRAM location."""
+        if not 0 <= paddr < self.geometry.capacity_bytes:
+            raise AddressMappingError(
+                f"paddr {paddr:#x} outside module capacity "
+                f"{self.geometry.capacity_bytes:#x}"
+            )
+        bank = 0
+        for i, mask in enumerate(self.bank_masks):
+            bank |= _parity(paddr & mask) << i
+        row = _gather_bits(paddr, self.row_bits)
+        col = _gather_bits(paddr, self.col_bits)
+        return DramAddress(bank=bank, row=row, col=col)
+
+    # ------------------------------------------------------------ inverse
+    def dram_to_phys(self, bank: int, row: int, col: int = 0) -> int:
+        """Reconstruct the physical address of a DRAM location.
+
+        This is exactly what SoftTRR's Row Refresher does before reading
+        the row through the direct-physical map (Section IV-D).
+        """
+        self.geometry.check_bank(bank)
+        self.geometry.check_row(row)
+        if not 0 <= col < self.geometry.row_bytes:
+            raise AddressMappingError(f"column {col} out of range")
+        paddr = _scatter_bits(row, self.row_bits) | _scatter_bits(col, self.col_bits)
+        for i, mask in enumerate(self.bank_masks):
+            base = self._base_bits[i]  # type: ignore[attr-defined]
+            want = (bank >> i) & 1
+            have = _parity(paddr & (mask & ~(1 << base)))
+            if want ^ have:
+                paddr |= 1 << base
+        return paddr
+
+    # ------------------------------------------------------------ helpers
+    def row_of(self, paddr: int) -> Tuple[int, int]:
+        """(bank, row) of a physical address — the hammer-relevant part."""
+        dram = self.phys_to_dram(paddr)
+        return dram.bank, dram.row
+
+    def same_bank(self, paddr_a: int, paddr_b: int) -> bool:
+        """Whether two physical addresses share a DRAM bank."""
+        return self.phys_to_dram(paddr_a).bank == self.phys_to_dram(paddr_b).bank
+
+    def same_row(self, paddr_a: int, paddr_b: int) -> bool:
+        """Whether two physical addresses share both bank and row."""
+        a, b = self.phys_to_dram(paddr_a), self.phys_to_dram(paddr_b)
+        return a.bank == b.bank and a.row == b.row
+
+    def page_rows(self, ppn: int) -> List[Tuple[int, int]]:
+        """Distinct (bank, row) pairs that the 4 KiB page ``ppn`` touches.
+
+        Pages can span multiple banks on interleaved mappings, which is
+        why SoftTRR's ``pt_row_rbtree`` nodes can carry several
+        ``bank_struct`` entries (Table I, [50]).
+        """
+        seen: List[Tuple[int, int]] = []
+        base = ppn << 12
+        for off in range(0, 4096, 1 << LINE_SHIFT):
+            dram = self.phys_to_dram(base + off)
+            key = (dram.bank, dram.row)
+            if key not in seen:
+                seen.append(key)
+        return seen
+
+    def row_pages(self, bank: int, row: int) -> List[int]:
+        """Distinct PPNs with at least one line in (bank, row).
+
+        Used by SoftTRR's collector to enumerate the pages that live in a
+        row adjacent to a page-table row.
+        """
+        seen: List[int] = []
+        for col in range(0, self.geometry.row_bytes, 1 << LINE_SHIFT):
+            ppn = self.dram_to_phys(bank, row, col) >> 12
+            if ppn not in seen:
+                seen.append(ppn)
+        return seen
+
+
+def linear_mapping(geometry: DramGeometry) -> AddressMapping:
+    """The simplest sane mapping: column low, bank middle, row high.
+
+    Each bank bit additionally XORs in one row bit (the classic
+    "rank/bank address mirroring" structure DRAMA finds on real DDR3),
+    which makes the mapping non-trivial to reverse-engineer while staying
+    invertible.
+    """
+    geo = geometry
+    col_bits = tuple(range(geo.col_bits))
+    bank_base = tuple(range(geo.col_bits, geo.col_bits + geo.bank_bits))
+    row_bits = tuple(range(geo.col_bits + geo.bank_bits, geo.addr_bits))
+    masks = []
+    for i, base in enumerate(bank_base):
+        mask = 1 << base
+        if i < len(row_bits):
+            mask |= 1 << row_bits[i]
+        masks.append(mask)
+    return AddressMapping(
+        geometry=geo, bank_masks=tuple(masks), row_bits=row_bits, col_bits=col_bits
+    )
+
+
+def interleaved_mapping(geometry: DramGeometry) -> AddressMapping:
+    """A mapping whose lowest bank bit is physical bit 6.
+
+    With a bank function at bit 6, consecutive cache lines alternate
+    between two banks, so a single 4 KiB page *spans two banks* — the
+    behaviour [50] documents and the reason a SoftTRR ``pt_row_rbtree``
+    node may hold multiple ``bank_struct`` entries.  Used for the DDR4
+    performance-testbed profile.
+    """
+    geo = geometry
+    if geo.bank_bits < 1:
+        raise AddressMappingError("interleaved mapping needs at least 2 banks")
+    # Column bits: 0..5 (sub-line) plus bits 7.. up to the column width.
+    col_bits = tuple(range(LINE_SHIFT)) + tuple(
+        range(LINE_SHIFT + 1, LINE_SHIFT + 1 + geo.col_bits - LINE_SHIFT)
+    )
+    next_free = col_bits[-1] + 1
+    bank_base = (LINE_SHIFT,) + tuple(range(next_free, next_free + geo.bank_bits - 1))
+    row_start = next_free + geo.bank_bits - 1
+    row_bits = tuple(range(row_start, row_start + geo.row_bits))
+    masks = []
+    for i, base in enumerate(bank_base):
+        mask = 1 << base
+        if i < len(row_bits):
+            mask |= 1 << row_bits[i]
+        masks.append(mask)
+    return AddressMapping(
+        geometry=geo, bank_masks=tuple(masks), row_bits=row_bits, col_bits=col_bits
+    )

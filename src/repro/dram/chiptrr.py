@@ -1,0 +1,130 @@
+"""In-DRAM target row refresh (ChipTRR) and its many-sided blind spot.
+
+DDR4 modules ship a TRR engine that watches ACT commands with a small
+per-bank tracker and refreshes the neighbours of rows it believes are
+being hammered.  TRRespass [16] showed the tracker capacity is tiny
+(a handful of rows), so *many-sided* patterns that cycle through more
+aggressors than the tracker can hold are never counted and hammer
+freely.  The paper names this limited tracking as ChipTRR's root cause
+of failure and designs SoftTRR around it (Section I).
+
+We model the tracker as a Misra-Gries heavy-hitter summary with
+``tracker_slots`` counters per bank, which reproduces the observed
+phenomenology exactly:
+
+* **1- or 2-sided hammer** — every aggressor gets a slot, its counter
+  climbs, and once it reaches ``trr_threshold`` the engine refreshes the
+  aggressor's neighbourhood (out to ``refresh_distance`` rows).  Victims
+  are recharged long before ``base_flip_threshold`` — no flips.
+* **k-sided hammer with k > tracker_slots** — each untracked arrival
+  decrements every counter (the Misra-Gries eviction step), so no
+  counter ever approaches the threshold and no targeted refresh is
+  issued.  The aggressors hammer as if TRR did not exist.
+
+Counters reset at each auto-refresh epoch (lazy, like the disturbance
+accumulators).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TrrParams:
+    """ChipTRR configuration for one module profile."""
+
+    enabled: bool = False
+    tracker_slots: int = 2
+    trr_threshold: int = 4_000
+    refresh_distance: int = 6
+
+    def __post_init__(self) -> None:
+        if self.enabled:
+            if self.tracker_slots < 1:
+                raise ConfigError("TRR tracker needs at least one slot")
+            if self.trr_threshold < 2:
+                raise ConfigError("TRR threshold must be >= 2")
+            if self.refresh_distance < 1:
+                raise ConfigError("TRR refresh distance must be >= 1")
+
+
+class ChipTrr:
+    """Per-bank Misra-Gries ACT tracker issuing targeted refreshes.
+
+    The module wires ``refresh_row(bank, row)`` to the disturbance
+    engine's :meth:`~repro.dram.disturbance.DisturbanceEngine.heal`.
+    """
+
+    def __init__(
+        self, params: TrrParams, refresh_row: Callable[[int, int], None],
+        remap=None,
+    ) -> None:
+        self.params = params
+        self._refresh_row = refresh_row
+        #: The TRR engine is silicon: it refreshes the rows *physically*
+        #: flanking the aggressor, translated through the module's
+        #: internal remapping when one exists.
+        self.remap = remap
+        # bank -> [epoch, {row: count}]
+        self._trackers: Dict[int, List] = {}
+        self.targeted_refreshes = 0
+        self.evictions = 0
+
+    def _tracker(self, bank: int, epoch: int) -> Dict[int, int]:
+        state = self._trackers.get(bank)
+        if state is None:
+            state = [epoch, {}]
+            self._trackers[bank] = state
+        elif state[0] != epoch:
+            state[0] = epoch
+            state[1] = {}
+        return state[1]
+
+    def on_activate(self, bank: int, row: int, count: int, epoch: int) -> None:
+        """Feed ``count`` ACTs of (bank, row) through the tracker."""
+        if not self.params.enabled or count <= 0:
+            return
+        counters = self._tracker(bank, epoch)
+        if row in counters:
+            counters[row] += count
+        elif len(counters) < self.params.tracker_slots:
+            counters[row] = count
+        else:
+            # Misra-Gries eviction: an untracked arrival decrements every
+            # counter; rows that hit zero lose their slot.  ``count``
+            # arrivals decrement by ``count``.
+            self.evictions += 1
+            dead = []
+            for tracked, value in counters.items():
+                value -= count
+                if value <= 0:
+                    dead.append(tracked)
+                else:
+                    counters[tracked] = value
+            for tracked in dead:
+                del counters[tracked]
+            return
+        if counters[row] >= self.params.trr_threshold:
+            counters[row] = 0
+            self._issue_refresh(bank, row)
+
+    def _issue_refresh(self, bank: int, row: int) -> None:
+        """Refresh the suspected aggressor's neighbourhood."""
+        self.targeted_refreshes += 1
+        for distance in range(1, self.params.refresh_distance + 1):
+            if self.remap is not None:
+                for victim in self.remap.neighbors_at(row, distance):
+                    self._refresh_row(bank, victim)
+            else:
+                self._refresh_row(bank, row - distance)
+                self._refresh_row(bank, row + distance)
+
+    def tracked_rows(self, bank: int, epoch: int) -> Dict[int, int]:
+        """Snapshot of the tracker for tests/diagnostics."""
+        if not self.params.enabled:
+            return {}
+        return dict(self._tracker(bank, epoch))

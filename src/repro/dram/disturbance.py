@@ -1,0 +1,242 @@
+"""Rowhammer charge-disturbance fault model.
+
+The model follows the experimental picture of Kim et al. [26], which the
+paper's design explicitly targets (Section III-A):
+
+* Activating (opening) a row deposits *disturbance* into nearby victim
+  rows.  Victims can be up to ``max_distance`` (6) rows away; the deposit
+  per activation falls off geometrically with distance,
+  ``w(d) = distance_decay ** (d - 1)``.
+* A small, fixed subset of cells is *vulnerable* (real DIMMs flip in the
+  same cells reproducibly — that is what makes flip *templating* work).
+  A vulnerable cell flips when its row's accumulated disturbance crosses
+  the cell's threshold.  The most vulnerable cells flip after
+  ``base_flip_threshold`` weighted activations — calibrated to the
+  paper's #ACT ~= 20 K figure (Section IV-E), which together with an
+  activation period >= tRC + controller overhead puts the minimum
+  time-to-first-flip just above SoftTRR's 1 ms protection window.
+* Activating or refreshing the victim row itself recharges its cells and
+  zeroes the accumulator — this is precisely the mechanism SoftTRR's Row
+  Refresher relies on ("a read-access to a row can automatically recharge
+  the row", Section IV-D).
+* Auto-refresh heals every row once per refresh window.  The engine
+  implements this lazily with epoch tags instead of touching every row.
+* Flips are one-directional per cell (true-cell 1->0 vs anti-cell 0->1),
+  so a flip only corrupts data whose current bit value matches the
+  cell's charged state.
+
+All randomness (which rows have vulnerable cells, where, and how hard
+they are) is a pure function of ``(seed, bank, row)``, so every machine
+profile has a stable, reproducible flip map — the property templating
+and the security evaluation depend on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigError
+from .geometry import DramGeometry
+from .remap import IdentityRemap, RowRemap
+
+
+@dataclass(frozen=True)
+class VulnerableCell:
+    """One flippable cell in a DRAM row.
+
+    ``bit_offset`` indexes the bit within the row (0-based from the row's
+    first byte's LSB).  ``from_value`` is the charged value the cell loses
+    when it flips: a flip turns ``from_value`` into ``1 - from_value`` and
+    only applies if the stored bit currently equals ``from_value``.
+    """
+
+    bit_offset: int
+    threshold: float
+    from_value: int
+
+
+@dataclass(frozen=True)
+class FlipEvent:
+    """A bit flip the disturbance engine just produced."""
+
+    bank: int
+    row: int
+    bit_offset: int
+    from_value: int
+    at_ns: int
+
+
+@dataclass(frozen=True)
+class DisturbanceParams:
+    """Knobs of the fault model.
+
+    ``base_flip_threshold`` is in *weighted activation units*: a single
+    activation of an adjacent (distance-1) row deposits exactly 1 unit.
+    """
+
+    base_flip_threshold: float = 20_000.0
+    threshold_max_factor: float = 8.0
+    max_distance: int = 6
+    distance_decay: float = 0.6
+    row_vuln_probability: float = 0.25
+    max_vuln_cells_per_row: int = 3
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.base_flip_threshold <= 0:
+            raise ConfigError("flip threshold must be positive")
+        if self.threshold_max_factor < 1.0:
+            raise ConfigError("threshold_max_factor must be >= 1")
+        if not 1 <= self.max_distance <= 16:
+            raise ConfigError("max_distance must be in [1, 16]")
+        if not 0.0 < self.distance_decay <= 1.0:
+            raise ConfigError("distance_decay must be in (0, 1]")
+        if not 0.0 <= self.row_vuln_probability <= 1.0:
+            raise ConfigError("row_vuln_probability must be a probability")
+        if self.max_vuln_cells_per_row < 1:
+            raise ConfigError("need at least one cell per vulnerable row")
+
+    def weight(self, distance: int) -> float:
+        """Disturbance deposited per activation at ``distance`` rows away."""
+        if distance < 1 or distance > self.max_distance:
+            return 0.0
+        return self.distance_decay ** (distance - 1)
+
+
+class DisturbanceEngine:
+    """Tracks accumulated disturbance and produces flips.
+
+    The engine is deliberately clock-free: callers pass the current
+    refresh epoch and timestamp so it can be unit-tested in isolation.
+    """
+
+    def __init__(self, geometry: DramGeometry, params: DisturbanceParams,
+                 remap: Optional[RowRemap] = None) -> None:
+        self.geometry = geometry
+        self.params = params
+        #: In-DRAM row remapping: disturbance follows *physical*
+        #: adjacency, so victims of an activation are the logical rows
+        #: whose physical positions flank the activated row.
+        self.remap = remap or IdentityRemap(geometry.rows_per_bank)
+        # (bank, row) -> [epoch, accumulated_units]
+        self._acc: Dict[Tuple[int, int], List[float]] = {}
+        # (bank, row) -> tuple of VulnerableCell (lazily generated, cached)
+        self._cells: Dict[Tuple[int, int], Tuple[VulnerableCell, ...]] = {}
+        self.total_deposits = 0
+        self.total_flip_events = 0
+
+    # --------------------------------------------------------- cell map
+    def vulnerable_cells(self, bank: int, row: int) -> Tuple[VulnerableCell, ...]:
+        """The (deterministic) vulnerable cells of a row."""
+        key = (bank, row)
+        cached = self._cells.get(key)
+        if cached is not None:
+            return cached
+        rng = random.Random(f"cells:{self.params.seed}:{bank}:{row}")
+        cells: List[VulnerableCell] = []
+        if rng.random() < self.params.row_vuln_probability:
+            count = rng.randint(1, self.params.max_vuln_cells_per_row)
+            row_bits_total = self.geometry.row_bytes * 8
+            for _ in range(count):
+                # Square the uniform draw so thresholds skew toward the
+                # base: most vulnerable rows have at least one "easy" cell,
+                # as the HC_first distributions in [26] show.
+                spread = (self.params.threshold_max_factor - 1.0) * rng.random() ** 2
+                cells.append(
+                    VulnerableCell(
+                        bit_offset=rng.randrange(row_bits_total),
+                        threshold=self.params.base_flip_threshold * (1.0 + spread),
+                        from_value=rng.randint(0, 1),
+                    )
+                )
+            cells.sort(key=lambda c: c.threshold)
+        result = tuple(cells)
+        self._cells[key] = result
+        return result
+
+    def is_vulnerable(self, bank: int, row: int) -> bool:
+        """Whether the row has any flippable cell."""
+        return bool(self.vulnerable_cells(bank, row))
+
+    def min_threshold(self, bank: int, row: int) -> Optional[float]:
+        """Threshold of the row's easiest cell, or ``None``."""
+        cells = self.vulnerable_cells(bank, row)
+        return cells[0].threshold if cells else None
+
+    # ------------------------------------------------------ accumulation
+    def _bucket(self, bank: int, row: int, epoch: int) -> List[float]:
+        key = (bank, row)
+        bucket = self._acc.get(key)
+        if bucket is None:
+            bucket = [epoch, 0.0]
+            self._acc[key] = bucket
+        elif bucket[0] != epoch:
+            # Lazy auto-refresh: the window rolled over since this row's
+            # accumulator was last touched, so the charge was restored.
+            bucket[0] = epoch
+            bucket[1] = 0.0
+        return bucket
+
+    def deposit(
+        self, bank: int, row: int, units: float, epoch: int, now_ns: int
+    ) -> List[FlipEvent]:
+        """Add ``units`` of disturbance to (bank, row); return new flips."""
+        if units <= 0:
+            return []
+        if row < 0 or row >= self.geometry.rows_per_bank:
+            return []
+        bucket = self._bucket(bank, row, epoch)
+        before = bucket[1]
+        after = before + units
+        bucket[1] = after
+        self.total_deposits += 1
+        flips: List[FlipEvent] = []
+        for cell in self.vulnerable_cells(bank, row):
+            if before < cell.threshold <= after:
+                flips.append(
+                    FlipEvent(
+                        bank=bank,
+                        row=row,
+                        bit_offset=cell.bit_offset,
+                        from_value=cell.from_value,
+                        at_ns=now_ns,
+                    )
+                )
+        self.total_flip_events += len(flips)
+        return flips
+
+    def on_activate(
+        self, bank: int, row: int, count: int, epoch: int, now_ns: int
+    ) -> List[FlipEvent]:
+        """Record ``count`` activations of (bank, row).
+
+        Opening a row recharges it (its own accumulator resets) and
+        disturbs every victim within ``max_distance`` rows on both sides.
+        Returns all flips produced anywhere.
+        """
+        if count <= 0:
+            return []
+        self.heal(bank, row)
+        flips: List[FlipEvent] = []
+        for distance in range(1, self.params.max_distance + 1):
+            units = self.params.weight(distance) * count
+            for victim in self.remap.neighbors_at(row, distance):
+                flips.extend(self.deposit(bank, victim, units, epoch, now_ns))
+        return flips
+
+    def heal(self, bank: int, row: int) -> None:
+        """Refresh (recharge) a row: accumulated disturbance is cleared."""
+        key = (bank, row)
+        bucket = self._acc.get(key)
+        if bucket is not None:
+            bucket[1] = 0.0
+
+    def accumulated(self, bank: int, row: int, epoch: int) -> float:
+        """Disturbance units accumulated by (bank, row) in ``epoch``."""
+        key = (bank, row)
+        bucket = self._acc.get(key)
+        if bucket is None or bucket[0] != epoch:
+            return 0.0
+        return bucket[1]

@@ -1,0 +1,127 @@
+"""DRAM geometry: how many banks, rows and columns a module has.
+
+The simulator folds DIMM, channel and rank into the *bank* dimension,
+exactly as the paper does ("DIMM, channel, and rank are included into the
+bank tuple field", Section II-A).  A module is therefore fully described
+by three powers of two: the number of banks, the number of rows per bank,
+and the number of bytes per row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+#: Memory-bus transfer granularity: one CPU cache line.  Address-mapping
+#: functions are required to keep every 64-byte line inside a single
+#: (bank, row) so that a line never straddles DRAM rows — true on every
+#: real x86 memory controller.
+LINE_BYTES = 64
+
+#: Base-2 log of :data:`LINE_BYTES`.
+LINE_SHIFT = 6
+
+#: x86 page size used throughout the stack.
+PAGE_BYTES = 4096
+PAGE_SHIFT = 12
+
+
+def _is_pow2(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class DramGeometry:
+    """Shape of a simulated DRAM module.
+
+    Attributes
+    ----------
+    num_banks:
+        Total banks, with channel/DIMM/rank folded in.  A single-channel
+        dual-rank DDR3 DIMM with 8 banks per rank is ``num_banks=16``.
+    rows_per_bank:
+        Rows in each bank.
+    row_bytes:
+        Bytes stored in one row (the row-buffer size).  8 KiB is typical.
+    """
+
+    num_banks: int
+    rows_per_bank: int
+    row_bytes: int
+
+    def __post_init__(self) -> None:
+        for name in ("num_banks", "rows_per_bank", "row_bytes"):
+            value = getattr(self, name)
+            if not _is_pow2(value):
+                raise ConfigError(f"{name} must be a power of two, got {value}")
+        if self.row_bytes < PAGE_BYTES // 8:
+            raise ConfigError("row_bytes implausibly small")
+        if self.row_bytes % LINE_BYTES:
+            raise ConfigError("row_bytes must be a multiple of the line size")
+
+    # ------------------------------------------------------------ derived
+    @property
+    def capacity_bytes(self) -> int:
+        """Total module capacity in bytes."""
+        return self.num_banks * self.rows_per_bank * self.row_bytes
+
+    @property
+    def bank_bits(self) -> int:
+        """Number of bits needed for a bank index."""
+        return self.num_banks.bit_length() - 1
+
+    @property
+    def row_bits(self) -> int:
+        """Number of bits needed for a row index."""
+        return self.rows_per_bank.bit_length() - 1
+
+    @property
+    def col_bits(self) -> int:
+        """Number of bits needed for a byte offset within a row."""
+        return self.row_bytes.bit_length() - 1
+
+    @property
+    def addr_bits(self) -> int:
+        """Number of physical-address bits the module decodes."""
+        return self.bank_bits + self.row_bits + self.col_bits
+
+    @property
+    def pages_per_row(self) -> int:
+        """4 KiB pages that fit in one row (>= 1 for realistic rows)."""
+        return max(1, self.row_bytes // PAGE_BYTES)
+
+    @property
+    def lines_per_row(self) -> int:
+        """Cache lines per row."""
+        return self.row_bytes // LINE_BYTES
+
+    @property
+    def total_rows(self) -> int:
+        """Rows across all banks."""
+        return self.num_banks * self.rows_per_bank
+
+    # ----------------------------------------------------------- helpers
+    def check_bank(self, bank: int) -> None:
+        """Raise :class:`ConfigError` if ``bank`` is out of range."""
+        if not 0 <= bank < self.num_banks:
+            raise ConfigError(f"bank {bank} out of range [0, {self.num_banks})")
+
+    def check_row(self, row: int) -> None:
+        """Raise :class:`ConfigError` if ``row`` is out of range."""
+        if not 0 <= row < self.rows_per_bank:
+            raise ConfigError(f"row {row} out of range [0, {self.rows_per_bank})")
+
+    def neighbors(self, row: int, max_distance: int) -> list:
+        """Row indexes within ``max_distance`` of ``row`` (excluding it).
+
+        Rows past either end of the bank are clipped, matching a real
+        bank's edge rows which simply have fewer neighbours.
+        """
+        out = []
+        for distance in range(1, max_distance + 1):
+            if row - distance >= 0:
+                out.append(row - distance)
+            if row + distance < self.rows_per_bank:
+                out.append(row + distance)
+        return out

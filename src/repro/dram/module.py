@@ -1,0 +1,255 @@
+"""The DRAM module facade: storage, timing, disturbance and TRR in one.
+
+:class:`DramModule` is the single point through which every memory
+transaction of the simulated machine flows (the CPU cache sits above it
+and filters hits).  It owns
+
+* the memory *contents*, stored sparsely per (bank, row) so that bit
+  flips can be applied directly to the row a victim cell lives in;
+* the per-bank row-buffer state (timing side channel, hammer semantics);
+* the :class:`~repro.dram.disturbance.DisturbanceEngine` producing flips;
+* the optional :class:`~repro.dram.chiptrr.ChipTrr` engine; and
+* the shared :class:`~repro.clock.SimClock`, advanced by every
+  transaction's latency.
+
+Two access planes are provided:
+
+* the **architectural** plane (:meth:`read`, :meth:`write`,
+  :meth:`hammer`) — what the simulated CPU issues; it costs simulated
+  time, activates rows and can flip bits; and
+* the **instrumentation** plane (:meth:`raw_read`, :meth:`raw_write`) —
+  used by test setup and by the evaluation's integrity checks; free and
+  side-effect-less, like an electron microscope rather than a load.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..clock import SimClock
+from ..errors import DramError
+from .address import AddressMapping
+from .bank import BankState, RowBufferPolicy
+from .chiptrr import ChipTrr, TrrParams
+from .disturbance import DisturbanceEngine, DisturbanceParams, FlipEvent
+from .geometry import DramGeometry, LINE_BYTES
+from .remap import IdentityRemap, RowRemap
+from .timing import DramTimings
+
+
+class DramModule:
+    """A simulated DRAM module with rowhammer physics."""
+
+    def __init__(
+        self,
+        mapping: AddressMapping,
+        timings: DramTimings,
+        disturbance: DisturbanceParams,
+        trr: TrrParams,
+        clock: SimClock,
+        row_policy: RowBufferPolicy = RowBufferPolicy.OPEN_PAGE,
+        remap: Optional[RowRemap] = None,
+    ) -> None:
+        self.geometry: DramGeometry = mapping.geometry
+        self.mapping = mapping
+        self.timings = timings
+        self.clock = clock
+        self.row_policy = row_policy
+        #: In-DRAM row remapping (Section III-A's "in-DRAM address
+        #: remappings ... assumed to be available"): physical adjacency
+        #: for the disturbance engine and the TRR, and the offline
+        #: domain knowledge SoftTRR consumes.
+        self.remap = remap or IdentityRemap(self.geometry.rows_per_bank)
+        self.engine = DisturbanceEngine(self.geometry, disturbance,
+                                        remap=self.remap)
+        self.trr = ChipTrr(trr, self._heal_row, remap=self.remap)
+        self._banks: List[BankState] = [BankState() for _ in range(self.geometry.num_banks)]
+        self._rows: Dict[Tuple[int, int], bytearray] = {}
+        self.flip_log: List[FlipEvent] = []
+        self.applied_flips = 0
+        self.reads = 0
+        self.writes = 0
+        self.total_activations = 0
+        # PMU-visible activation samples: (bank, row, origin) of recent
+        # activations.  "data" activations come from load/store misses
+        # (PEBS can attribute them); "walk" activations come from the
+        # page-table walker and are invisible to load sampling — the
+        # reason ANVIL misses PThammer (Section II-C).
+        from collections import deque
+        self.recent_activations = deque(maxlen=4096)
+        self.walk_origin = False
+
+    # ------------------------------------------------------------ storage
+    def _row_data(self, bank: int, row: int) -> bytearray:
+        key = (bank, row)
+        data = self._rows.get(key)
+        if data is None:
+            data = bytearray(self.geometry.row_bytes)
+            self._rows[key] = data
+        return data
+
+    def _heal_row(self, bank: int, row: int) -> None:
+        """Refresh callback target (TRR / auto / SoftTRR-induced reads)."""
+        if 0 <= row < self.geometry.rows_per_bank:
+            self.engine.heal(bank, row)
+
+    def _apply_flips(self, flips: List[FlipEvent]) -> None:
+        for flip in flips:
+            self.flip_log.append(flip)
+            data = self._row_data(flip.bank, flip.row)
+            byte_index, bit_index = divmod(flip.bit_offset, 8)
+            current = (data[byte_index] >> bit_index) & 1
+            if current == flip.from_value:
+                data[byte_index] ^= 1 << bit_index
+                self.applied_flips += 1
+
+    # --------------------------------------------------------- activation
+    def _epoch(self) -> int:
+        return self.timings.refresh_epoch(self.clock.now_ns)
+
+    def _transact_line(self, paddr: int) -> int:
+        """One line-sized memory transaction; returns its latency in ns."""
+        dram = self.mapping.phys_to_dram(paddr)
+        bank_state = self._banks[dram.bank]
+        activated = bank_state.access(dram.row, self.row_policy)
+        if activated:
+            latency = self.timings.conflict_latency_ns
+            epoch = self._epoch()
+            self._apply_flips(
+                self.engine.on_activate(dram.bank, dram.row, 1, epoch, self.clock.now_ns)
+            )
+            self.trr.on_activate(dram.bank, dram.row, 1, epoch)
+            self.total_activations += 1
+            self.recent_activations.append(
+                (dram.bank, dram.row,
+                 "walk" if self.walk_origin else "data"))
+        else:
+            latency = self.timings.hit_latency_ns
+        self.clock.advance(latency)
+        return latency
+
+    def hammer(self, paddr: int, count: int, origin: str = "data") -> None:
+        """``count`` forced row activations of the row holding ``paddr``.
+
+        Models a hammer loop that defeats the row buffer (alternating
+        aggressors / clflush), so every iteration is a full conflict.
+        Callers should keep ``count`` small (<= ~100 per call) and
+        interleave aggressors, because the in-DRAM TRR tracker sees the
+        batch as consecutive ACTs.  ``origin`` labels the PMU-visible
+        samples: PThammer's page-walk activations pass ``"walk"``.
+        """
+        if count <= 0:
+            return
+        dram = self.mapping.phys_to_dram(paddr)
+        bank_state = self._banks[dram.bank]
+        bank_state.activations += count
+        bank_state.open_row = dram.row if self.row_policy is RowBufferPolicy.OPEN_PAGE else None
+        epoch = self._epoch()
+        self._apply_flips(
+            self.engine.on_activate(dram.bank, dram.row, count, epoch, self.clock.now_ns)
+        )
+        self.trr.on_activate(dram.bank, dram.row, count, epoch)
+        self.total_activations += count
+        self.recent_activations.append((dram.bank, dram.row, origin))
+        self.clock.advance(count * self.timings.conflict_latency_ns)
+
+    # ----------------------------------------------------- architectural
+    def read(self, paddr: int, size: int) -> bytes:
+        """Architectural read: activates rows, costs time, sees flips."""
+        self.reads += 1
+        out = bytearray()
+        for line_paddr, offset, chunk in self._lines(paddr, size):
+            self._transact_line(line_paddr)
+            dram = self.mapping.phys_to_dram(line_paddr)
+            data = self._row_data(dram.bank, dram.row)
+            start = dram.col + offset
+            out.extend(data[start : start + chunk])
+        return bytes(out)
+
+    def write(self, paddr: int, payload: bytes) -> None:
+        """Architectural write: activates rows, costs time."""
+        self.writes += 1
+        pos = 0
+        for line_paddr, offset, chunk in self._lines(paddr, len(payload)):
+            self._transact_line(line_paddr)
+            dram = self.mapping.phys_to_dram(line_paddr)
+            data = self._row_data(dram.bank, dram.row)
+            start = dram.col + offset
+            data[start : start + chunk] = payload[pos : pos + chunk]
+            pos += chunk
+
+    # --------------------------------------------------- instrumentation
+    def raw_read(self, paddr: int, size: int) -> bytes:
+        """Side-effect-free read for integrity checks and test setup."""
+        out = bytearray()
+        for line_paddr, offset, chunk in self._lines(paddr, size):
+            dram = self.mapping.phys_to_dram(line_paddr)
+            data = self._rows.get((dram.bank, dram.row))
+            if data is None:
+                out.extend(b"\x00" * chunk)
+            else:
+                start = dram.col + offset
+                out.extend(data[start : start + chunk])
+        return bytes(out)
+
+    def raw_write(self, paddr: int, payload: bytes) -> None:
+        """Side-effect-free write for test setup."""
+        pos = 0
+        for line_paddr, offset, chunk in self._lines(paddr, len(payload)):
+            dram = self.mapping.phys_to_dram(line_paddr)
+            data = self._row_data(dram.bank, dram.row)
+            start = dram.col + offset
+            data[start : start + chunk] = payload[pos : pos + chunk]
+            pos += chunk
+
+    # ------------------------------------------------------------ helpers
+    def _lines(self, paddr: int, size: int):
+        """Split [paddr, paddr+size) into per-line (line_paddr, off, len)."""
+        if size <= 0:
+            raise DramError(f"access size must be positive, got {size}")
+        if paddr < 0 or paddr + size > self.geometry.capacity_bytes:
+            raise DramError(
+                f"access [{paddr:#x}, +{size}) outside capacity "
+                f"{self.geometry.capacity_bytes:#x}"
+            )
+        end = paddr + size
+        cursor = paddr
+        while cursor < end:
+            line_paddr = cursor & ~(LINE_BYTES - 1)
+            offset = cursor - line_paddr
+            chunk = min(LINE_BYTES - offset, end - cursor)
+            yield line_paddr, offset, chunk
+            cursor += chunk
+
+    def refresh_row(self, bank: int, row: int) -> None:
+        """Explicit refresh of one row (heals disturbance)."""
+        self.geometry.check_bank(bank)
+        self.geometry.check_row(row)
+        self._heal_row(bank, row)
+
+    def row_accumulated(self, bank: int, row: int) -> float:
+        """Current-epoch disturbance of a row (diagnostics)."""
+        return self.engine.accumulated(bank, row, self._epoch())
+
+    def bank_state(self, bank: int) -> BankState:
+        """Row-buffer state of a bank (diagnostics/tests)."""
+        self.geometry.check_bank(bank)
+        return self._banks[bank]
+
+    def flips_in_page(self, ppn: int) -> List[FlipEvent]:
+        """Flip events whose bit landed inside the 4 KiB page ``ppn``.
+
+        Used by the security evaluation to check page-table integrity the
+        way the paper does ("by checking their integrity", Section V-A).
+        """
+        page_base = ppn << 12
+        hits: List[FlipEvent] = []
+        for flip in self.flip_log:
+            # A row may be non-contiguous in physical space under
+            # interleaved mappings, so resolve the flip's own line.
+            col = (flip.bit_offset // 8) & ~(LINE_BYTES - 1)
+            line_paddr = self.mapping.dram_to_phys(flip.bank, flip.row, col)
+            byte_paddr = line_paddr + (flip.bit_offset // 8) % LINE_BYTES
+            if page_base <= byte_paddr < page_base + 4096:
+                hits.append(flip)
+        return hits

@@ -1,0 +1,131 @@
+"""In-DRAM row remapping (logical row address vs physical row position).
+
+DRAM vendors internally scramble row addresses: the row index the memory
+controller issues (the *logical* row) is not necessarily the row's
+*physical* position in the mat, and rowhammer disturbance follows
+physical adjacency.  The paper assumes this mapping is known: "The DRAM
+address mappings and in-DRAM address remappings can be reverse-
+engineered using prior works [54], [39], [50], [13] and they are assumed
+to be available" (Section III-A).
+
+Two models are provided:
+
+* :class:`IdentityRemap` — logical == physical (many DIMMs; the default
+  for all machine profiles).
+* :class:`FoldedRemap` — the classic vendor scramble in which the middle
+  pair of every 4-row group is swapped (logical 4k+1 <-> 4k+2), as
+  observed in reverse-engineering work on Samsung DDR3 parts.
+
+The disturbance engine and the in-DRAM TRR always operate in physical
+space (they are the silicon).  SoftTRR must translate through the same
+remap — it receives it as offline domain knowledge exactly like the
+XOR bank functions — and the ablation in
+``tests/core/test_remap_knowledge.py`` shows what happens when it
+assumes identity on a folded module: it refreshes the wrong rows.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ConfigError
+
+
+class RowRemap:
+    """Bijection between logical row indexes and physical positions."""
+
+    name = "abstract"
+
+    def __init__(self, rows_per_bank: int) -> None:
+        if rows_per_bank <= 0:
+            raise ConfigError("remap needs a positive row count")
+        self.rows_per_bank = rows_per_bank
+
+    def to_physical(self, logical: int) -> int:
+        """Physical position of a logical row."""
+        raise NotImplementedError
+
+    def to_logical(self, physical: int) -> int:
+        """Logical row stored at a physical position."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ helpers
+    def neighbors_at(self, logical: int, distance: int) -> List[int]:
+        """Logical rows physically exactly ``distance`` away (clipped)."""
+        physical = self.to_physical(logical)
+        out: List[int] = []
+        for candidate in (physical - distance, physical + distance):
+            if 0 <= candidate < self.rows_per_bank:
+                out.append(self.to_logical(candidate))
+        return out
+
+    def neighbors(self, logical: int, max_distance: int) -> List[int]:
+        """Logical rows physically within ``max_distance`` (excl. self)."""
+        out: List[int] = []
+        for distance in range(1, max_distance + 1):
+            out.extend(self.neighbors_at(logical, distance))
+        return out
+
+    def check_bijection(self) -> None:
+        """Assert the remap is a bijection (used by tests/validation)."""
+        seen = set()
+        for logical in range(self.rows_per_bank):
+            physical = self.to_physical(logical)
+            if not 0 <= physical < self.rows_per_bank:
+                raise ConfigError(
+                    f"remap sends row {logical} out of range ({physical})")
+            if physical in seen:
+                raise ConfigError(f"remap collides at physical {physical}")
+            seen.add(physical)
+            if self.to_logical(physical) != logical:
+                raise ConfigError(f"remap not invertible at row {logical}")
+
+
+class IdentityRemap(RowRemap):
+    """No internal scrambling: logical == physical."""
+
+    name = "identity"
+
+    def to_physical(self, logical: int) -> int:
+        return logical
+
+    def to_logical(self, physical: int) -> int:
+        return physical
+
+
+class FoldedRemap(RowRemap):
+    """The 4-row fold: logical 4k+1 and 4k+2 swap physical positions.
+
+    Self-inverse, so :meth:`to_physical` and :meth:`to_logical` are the
+    same permutation — as on the real parts this models, where the
+    scramble is a fixed address-line swap.
+    """
+
+    name = "folded"
+
+    @staticmethod
+    def _swap(row: int) -> int:
+        return row ^ 0x3 if row % 4 in (1, 2) else row
+
+    def to_physical(self, logical: int) -> int:
+        return self._swap(logical)
+
+    def to_logical(self, physical: int) -> int:
+        return self._swap(physical)
+
+
+REMAPS = {
+    "identity": IdentityRemap,
+    "folded": FoldedRemap,
+}
+
+
+def build_remap(kind: str, rows_per_bank: int) -> RowRemap:
+    """Instantiate a remap by name."""
+    try:
+        cls = REMAPS[kind]
+    except KeyError:
+        raise ConfigError(
+            f"unknown remap kind {kind!r}; known: {sorted(REMAPS)}"
+        ) from None
+    return cls(rows_per_bank)

@@ -1,0 +1,57 @@
+"""Mini-kernel substrate.
+
+SoftTRR is a loadable kernel module; to run it faithfully we need a
+kernel for it to load into.  This package provides a small but real one:
+
+* :mod:`repro.kernel.buddy` / :mod:`repro.kernel.slab` — the page and
+  small-object allocators (SoftTRR's tree nodes come from a slab cache,
+  Section IV-A).
+* :mod:`repro.kernel.physmem` — frame bookkeeping and pluggable frame
+  *placement policies* (the hook point the baseline defenses CATT / CTA /
+  ZebRAM use to partition DRAM).
+* :mod:`repro.kernel.hooks` — the dynamic inline-hook framework; SoftTRR
+  attaches to ``__pte_alloc``, ``__free_pages`` and ``do_page_fault``
+  without modifying kernel code (design principle DP2).
+* :mod:`repro.kernel.vma` / :mod:`repro.kernel.process` — VMAs,
+  ``mm_struct`` and ``task_struct`` equivalents, fork/exit.
+* :mod:`repro.kernel.rmap` — reverse mapping (PPN -> (pid, vaddr)), used
+  by the tracer to find the PTEs of an adjacent physical page.
+* :mod:`repro.kernel.timer` — kernel timers on the simulated clock.
+* :mod:`repro.kernel.devices` — the SCSI-generic driver buffer CATTmew
+  abuses (kernel-owned memory mapped user-accessible).
+* :mod:`repro.kernel.syscalls` — the syscall surface the LTP-style
+  robustness tests (Table V) exercise.
+* :mod:`repro.kernel.kernel` — the :class:`~repro.kernel.kernel.Kernel`
+  facade: boot, processes, demand paging, module loading.
+"""
+
+from .buddy import BuddyAllocator
+from .slab import SlabCache
+from .physmem import FramePolicy, DefaultFramePolicy, FrameUse
+from .hooks import HookManager
+from .rmap import ReverseMap
+from .timer import KernelTimers
+from .vma import Vma, VmaFlags
+from .process import Process, MmStruct
+from .kernel import Kernel, DIRECT_MAP_BASE
+from .devices import SgDevice
+from .syscalls import SyscallTable
+
+__all__ = [
+    "BuddyAllocator",
+    "SlabCache",
+    "FramePolicy",
+    "DefaultFramePolicy",
+    "FrameUse",
+    "HookManager",
+    "ReverseMap",
+    "KernelTimers",
+    "Vma",
+    "VmaFlags",
+    "Process",
+    "MmStruct",
+    "Kernel",
+    "DIRECT_MAP_BASE",
+    "SgDevice",
+    "SyscallTable",
+]

@@ -1,0 +1,162 @@
+"""Buddy page allocator.
+
+A standard power-of-two buddy system over a contiguous physical frame
+range, like Linux's zone allocator.  Orders 0..``max_order``; freeing
+coalesces with the buddy block when it is free and of the same order.
+
+The reproduction needs a real allocator (not a bump pointer) because
+
+* page-table pages and user pages must *interleave* in physical memory
+  over time — that interleaving is what creates the attacker-relevant
+  adjacency between user rows and L1PT rows; and
+* the baseline defenses (CATT, CTA, ZebRAM) are precisely allocator
+  modifications, so they need a real allocator to modify.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..errors import ConfigError, KernelError, OutOfMemoryError
+
+
+class BuddyAllocator:
+    """Buddy allocator over frames [start_ppn, start_ppn + frame_count)."""
+
+    def __init__(self, start_ppn: int, frame_count: int, max_order: int = 10) -> None:
+        if frame_count <= 0:
+            raise ConfigError("buddy needs at least one frame")
+        if max_order < 0 or max_order > 18:
+            raise ConfigError("max_order out of sane range")
+        self.start_ppn = start_ppn
+        self.frame_count = frame_count
+        self.max_order = max_order
+        # order -> set of block base PPNs (relative to start for buddy math).
+        self._free: Dict[int, Set[int]] = {o: set() for o in range(max_order + 1)}
+        self._allocated: Dict[int, int] = {}  # base ppn -> order
+        self._seed_free_lists()
+        self.alloc_count = 0
+        self.free_count = 0
+
+    def _seed_free_lists(self) -> None:
+        """Carve the range into maximal aligned power-of-two blocks.
+
+        Alignment is *absolute* (a block of order k starts at a PPN that
+        is a multiple of 2**k), which x86 huge pages require.
+        """
+        ppn = self.start_ppn
+        end = self.start_ppn + self.frame_count
+        while ppn < end:
+            order = min(self.max_order, (end - ppn).bit_length() - 1)
+            while order > 0 and ppn & ((1 << order) - 1):
+                order -= 1
+            self._free[order].add(ppn)
+            ppn += 1 << order
+
+    # ------------------------------------------------------------- alloc
+    def alloc_pages(self, order: int = 0) -> int:
+        """Allocate a 2**order-frame block; returns its base PPN."""
+        if not 0 <= order <= self.max_order:
+            raise KernelError(f"order {order} out of range")
+        current = order
+        while current <= self.max_order and not self._free[current]:
+            current += 1
+        if current > self.max_order:
+            raise OutOfMemoryError(
+                f"buddy exhausted: no block of order >= {order} "
+                f"({self.free_frames()} frames free but fragmented)"
+            )
+        base = min(self._free[current])  # deterministic choice
+        self._free[current].discard(base)
+        # Split down to the requested order.
+        while current > order:
+            current -= 1
+            buddy = base + (1 << current)
+            self._free[current].add(buddy)
+        self._allocated[base] = order
+        self.alloc_count += 1
+        return base
+
+    def alloc_specific(self, ppn: int) -> int:
+        """Allocate exactly the frame ``ppn`` (order 0).
+
+        Splits whatever free block contains it.  This is not a normal
+        allocator operation — it models the *kernel-assisted* placement
+        the paper's evaluation uses to convert probabilistic spraying
+        into a deterministic attack ("we ask the kernel to copy the
+        content of the m pages of L1PTs into the m vulnerable pages",
+        Section V-A).
+        """
+        if not self.contains(ppn):
+            raise KernelError(f"frame {ppn:#x} outside this allocator")
+        for order in range(self.max_order + 1):
+            base = ppn & ~((1 << order) - 1)
+            if base in self._free[order]:
+                self._free[order].discard(base)
+                # Split down, keeping the halves that don't hold ppn.
+                current = order
+                while current > 0:
+                    current -= 1
+                    half = 1 << current
+                    low, high = base, base + half
+                    if ppn < high:
+                        self._free[current].add(high)
+                        base = low
+                    else:
+                        self._free[current].add(low)
+                        base = high
+                self._allocated[ppn] = 0
+                self.alloc_count += 1
+                return ppn
+        raise KernelError(f"frame {ppn:#x} is not free")
+
+    # -------------------------------------------------------------- free
+    def free_pages(self, base_ppn: int, order: int = 0) -> None:
+        """Free a block previously returned by :meth:`alloc_pages`."""
+        recorded = self._allocated.pop(base_ppn, None)
+        if recorded is None:
+            raise KernelError(f"free of unallocated block ppn={base_ppn:#x}")
+        if recorded != order:
+            self._allocated[base_ppn] = recorded
+            raise KernelError(
+                f"free order mismatch at ppn={base_ppn:#x}: "
+                f"allocated order {recorded}, freeing order {order}"
+            )
+        self.free_count += 1
+        # Coalesce with buddies while possible (absolute buddy math).
+        ppn = base_ppn
+        end = self.start_ppn + self.frame_count
+        while order < self.max_order:
+            buddy_ppn = ppn ^ (1 << order)
+            if buddy_ppn not in self._free[order]:
+                break
+            if buddy_ppn < self.start_ppn or buddy_ppn + (1 << order) > end:
+                break
+            self._free[order].discard(buddy_ppn)
+            ppn = min(ppn, buddy_ppn)
+            order += 1
+        self._free[order].add(ppn)
+
+    # ------------------------------------------------------------- stats
+    def free_frames(self) -> int:
+        """Total free frames (across all orders)."""
+        return sum(len(blocks) << order for order, blocks in self._free.items())
+
+    def allocated_frames(self) -> int:
+        """Total allocated frames."""
+        return sum(1 << order for order in self._allocated.values())
+
+    def is_allocated(self, base_ppn: int) -> bool:
+        """Whether ``base_ppn`` is the base of a live allocation."""
+        return base_ppn in self._allocated
+
+    def contains(self, ppn: int) -> bool:
+        """Whether ``ppn`` falls inside this allocator's range."""
+        return self.start_ppn <= ppn < self.start_ppn + self.frame_count
+
+    def largest_free_order(self) -> int:
+        """Largest order with a free block, or -1 if empty."""
+        for order in range(self.max_order, -1, -1):
+            if self._free[order]:
+                return order
+        return -1

@@ -1,0 +1,112 @@
+"""The SCSI-generic (SG) driver buffer CATTmew exploits.
+
+CATTmew [12] breaks CATT's user/kernel physical isolation "by
+identifying device (e.g., SCSI Generic) driver buffers that are kernel
+memory but can be accessed by unprivileged users" (Section V-B).  The
+kernel allocates the buffer from *kernel* frames (so a CATT-style
+partition places it in the kernel region, next to page tables) and then
+maps it into the calling process's address space with user permissions —
+the exact double-ownership hole the attack rides.
+
+The paper's evaluation also relies on the machine granting a large SG
+buffer ("we can apply as large as 123 MiB and only 8m KiB ... are
+enough"), so the device enforces only a generous cap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import KernelError
+from ..mmu import bits
+from .physmem import FrameUse
+from .process import Process
+from .vma import PAGE, Vma, VmaFlags
+
+#: Where SG mappings land in user space (away from the mmap area).
+SG_MAP_BASE = 0x0000_7A00_0000_0000
+
+
+class SgDevice:
+    """Simulated /dev/sg driver with user-mappable kernel buffers."""
+
+    def __init__(self, kernel, max_buffer_bytes: int = 32 * 1024 * 1024) -> None:
+        self.kernel = kernel
+        self.max_buffer_bytes = max_buffer_bytes
+        #: (pid, vaddr base) -> list of kernel frame PPNs
+        self._buffers: Dict[Tuple[int, int], List[int]] = {}
+        self._next_base = SG_MAP_BASE
+        self.total_allocated_bytes = 0
+
+    def alloc_buffer(self, process: Process, length: int) -> int:
+        """Allocate an SG buffer and map it into ``process``.
+
+        Returns the user virtual base address.  The frames are allocated
+        with :attr:`FrameUse.SG_BUFFER` — *kernel* memory from a
+        partitioning defense's point of view.
+        """
+        length = (length + PAGE - 1) & ~(PAGE - 1)
+        if length <= 0 or length > self.max_buffer_bytes:
+            raise KernelError(
+                f"SG buffer of {length} bytes exceeds device cap "
+                f"{self.max_buffer_bytes}"
+            )
+        base = self._next_base
+        self._next_base += length + PAGE
+        frames: List[int] = []
+        vma = Vma(base, base + length,
+                  VmaFlags.READ | VmaFlags.WRITE | VmaFlags.DEVICE,
+                  name="sg-buffer")
+        process.mm.add_vma(vma)
+        flags = bits.PTE_PRESENT | bits.PTE_RW | bits.PTE_USER | bits.PTE_NX
+        for offset in range(0, length, PAGE):
+            ppn = self.kernel.alloc_frame(FrameUse.SG_BUFFER)
+            frames.append(ppn)
+            self.kernel.map_page(process, base + offset, ppn, flags)
+        self._buffers[(process.pid, base)] = frames
+        self.total_allocated_bytes += length
+        return base
+
+    def free_buffer(self, process: Process, base: int) -> None:
+        """Release an SG buffer (unmap + free the kernel frames)."""
+        frames = self._buffers.pop((process.pid, base), None)
+        if frames is None:
+            raise KernelError(f"no SG buffer at {base:#x} for pid {process.pid}")
+        vma = process.mm.find_vma(base)
+        if vma is not None:
+            for page in vma.pages():
+                self.kernel.unmap_page(process, page)
+            process.mm.remove_vma(vma)
+        for ppn in frames:
+            self.kernel.free_frame(ppn)
+        self.total_allocated_bytes -= len(frames) * PAGE
+
+    def buffer_frames(self, process: Process, base: int) -> List[int]:
+        """The kernel PPNs backing a buffer (attack reconnaissance)."""
+        frames = self._buffers.get((process.pid, base))
+        if frames is None:
+            raise KernelError(f"no SG buffer at {base:#x} for pid {process.pid}")
+        return list(frames)
+
+    def remap_buffer_frame(self, process: Process, base: int,
+                           index: int, new_ppn: int) -> int:
+        """Swap one buffer page's backing frame (evaluation harness).
+
+        Models the paper's kernel-assisted step: "We instruct the kernel
+        to copy the allocated SG buffer's content into the 2m aggressor
+        pages and change the buffer's address mappings accordingly"
+        (Section V-B).  Returns the old PPN.
+        """
+        frames = self.buffer_frames(process, base)
+        if not 0 <= index < len(frames):
+            raise KernelError(f"SG buffer page index {index} out of range")
+        vaddr = base + index * PAGE
+        old_ppn = frames[index]
+        # Copy content, then swap the mapping.
+        data = self.kernel.dram.raw_read(old_ppn << 12, PAGE)
+        self.kernel.dram.raw_write(new_ppn << 12, data)
+        self.kernel.unmap_page(process, vaddr)
+        flags = bits.PTE_PRESENT | bits.PTE_RW | bits.PTE_USER | bits.PTE_NX
+        self.kernel.map_page(process, vaddr, new_ppn, flags)
+        self._buffers[(process.pid, base)][index] = new_ppn
+        return old_ppn

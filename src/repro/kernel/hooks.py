@@ -1,0 +1,117 @@
+"""Dynamic inline-hook (trampoline) framework.
+
+SoftTRR's prototype "performs dynamic inline hooks to multiple kernel
+functions ... without kernel recompilation or binary rewriting"
+(Section IV-B), using a detours library on ``__pte_alloc`` and
+``__free_pages``, plus a hook on ``do_page_fault``.
+
+The model exposes named hook points the kernel calls at the equivalent
+places.  Two dispatch styles exist, matching how the real hooks are
+used:
+
+* **notifier hooks** (:meth:`HookManager.notify`) — every registered
+  callback runs; used for ``__pte_alloc`` / ``__free_pages``.
+* **handler hooks** (:meth:`HookManager.dispatch`) — callbacks run in
+  registration order until one returns a non-``None`` result, which is
+  returned to the caller; used for ``do_page_fault``, where SoftTRR's
+  hook consumes RSVD faults and passes everything else to the default
+  handler.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import HookError
+
+#: Hook points the kernel exposes, mirroring the functions the paper hooks.
+HOOK_PTE_ALLOC = "__pte_alloc"
+#: L2 (PMD) table births — used by the Section VII extension that
+#: protects higher-level page tables.
+HOOK_PMD_ALLOC = "__pmd_alloc"
+HOOK_FREE_PAGES = "__free_pages"
+HOOK_PAGE_FAULT = "do_page_fault"
+#: Runs after the default fault handler repaired a fault; carries the
+#: newly mapped page.  This is the wrapping half of the do_page_fault
+#: detour: the tracer uses it to catch "any new page that is allocated
+#: for the user space in the default page fault handler" (Section IV-C).
+HOOK_PAGE_FAULT_POST = "do_page_fault_post"
+HOOK_CONTEXT_SWITCH = "context_switch"
+#: Fires whenever a user mapping is installed (demand paging, fork
+#: copies, SG-buffer setup).  Carries (process, vaddr, ppn, leaf_level).
+#: SoftTRR's tracer uses it to catch pages that become adjacent after
+#: the initial collection ("free pages that are adjacent to L1PT pages
+#: and allocated for use later", Section IV-B).
+HOOK_PAGE_MAPPED = "page_mapped"
+
+KNOWN_HOOKS = (
+    HOOK_PTE_ALLOC,
+    HOOK_PMD_ALLOC,
+    HOOK_FREE_PAGES,
+    HOOK_PAGE_FAULT,
+    HOOK_PAGE_FAULT_POST,
+    HOOK_CONTEXT_SWITCH,
+    HOOK_PAGE_MAPPED,
+)
+
+
+class HookManager:
+    """Registry and dispatcher for kernel hook points."""
+
+    def __init__(self) -> None:
+        self._hooks: Dict[str, List[Callable]] = {name: [] for name in KNOWN_HOOKS}
+        self.dispatch_count: Dict[str, int] = {name: 0 for name in KNOWN_HOOKS}
+
+    def register(self, point: str, callback: Callable) -> None:
+        """Install ``callback`` on ``point`` (like installing a detour)."""
+        if point not in self._hooks:
+            raise HookError(f"unknown hook point {point!r}")
+        if callback in self._hooks[point]:
+            raise HookError(f"callback already hooked on {point!r}")
+        self._hooks[point].append(callback)
+
+    def unregister(self, point: str, callback: Callable) -> None:
+        """Remove a previously installed hook."""
+        if point not in self._hooks:
+            raise HookError(f"unknown hook point {point!r}")
+        try:
+            self._hooks[point].remove(callback)
+        except ValueError:
+            raise HookError(f"callback not hooked on {point!r}") from None
+
+    def unregister_all(self, owner_callbacks) -> None:
+        """Remove every callback in ``owner_callbacks`` wherever installed.
+
+        Convenience for module unload: a module passes the callbacks it
+        registered and they are detached from all points.
+        """
+        for point, callbacks in self._hooks.items():
+            self._hooks[point] = [
+                cb for cb in callbacks if cb not in owner_callbacks
+            ]
+
+    def hooked(self, point: str) -> int:
+        """Number of callbacks installed on a point."""
+        if point not in self._hooks:
+            raise HookError(f"unknown hook point {point!r}")
+        return len(self._hooks[point])
+
+    # ---------------------------------------------------------- dispatch
+    def notify(self, point: str, *args, **kwargs) -> None:
+        """Run every callback on ``point`` (notifier style)."""
+        self.dispatch_count[point] += 1
+        for callback in list(self._hooks[point]):
+            callback(*args, **kwargs)
+
+    def dispatch(self, point: str, *args, **kwargs) -> Optional[Any]:
+        """Run callbacks until one handles the event (handler style).
+
+        Returns the first non-``None`` result, or ``None`` if no hook
+        claimed the event (the caller then runs the default path).
+        """
+        self.dispatch_count[point] += 1
+        for callback in list(self._hooks[point]):
+            result = callback(*args, **kwargs)
+            if result is not None:
+                return result
+        return None

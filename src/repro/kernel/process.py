@@ -1,0 +1,96 @@
+"""Process model: ``task_struct`` and ``mm_struct`` equivalents.
+
+The collector enumerates "the list of task_struct to find every existing
+process" (Section IV-B), and the tracer stores ``mm`` pointers in its
+ring buffer to pair a PTE with the address space it belongs to.
+
+The kernel (not this module) performs the actual page-table surgery;
+``MmStruct`` only carries the address-space state: the PML4 root, the
+VMA set, layout cursors and per-page-table occupancy counters used to
+decide when an L1PT page can be freed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import KernelError
+from .vma import Vma
+
+#: Default bases of the simulated user layout.
+MMAP_BASE = 0x0000_7F00_0000_0000
+BRK_BASE = 0x0000_5555_0000_0000
+HUGE_MMAP_BASE = 0x0000_7E00_0000_0000
+
+
+class MmStruct:
+    """Address-space state of one process."""
+
+    def __init__(self, pml4_ppn: int) -> None:
+        self.pml4_ppn = pml4_ppn
+        self.vmas: List[Vma] = []
+        self.mmap_cursor = MMAP_BASE
+        self.huge_cursor = HUGE_MMAP_BASE
+        self.brk_start = BRK_BASE
+        self.brk = BRK_BASE
+        #: L1PT ppn -> number of present leaf entries (to free empty PTs).
+        self.pte_page_population: Dict[int, int] = {}
+        #: Upper-level table pages (L4/L3/L2) owned by this mm.
+        self.upper_table_pages: List[int] = []
+        #: table ppn -> paging level (4 = PML4 ... 2 = PD); L1 pages are
+        #: tracked via ``pte_page_population``.
+        self.table_levels: Dict[int, int] = {}
+
+    # --------------------------------------------------------------- VMAs
+    def find_vma(self, vaddr: int) -> Optional[Vma]:
+        """The VMA containing ``vaddr``, or None."""
+        for vma in self.vmas:
+            if vma.contains(vaddr):
+                return vma
+        return None
+
+    def add_vma(self, vma: Vma) -> None:
+        """Insert a VMA, refusing overlaps."""
+        for existing in self.vmas:
+            if existing.overlaps(vma.start, vma.end):
+                raise KernelError(
+                    f"VMA [{vma.start:#x},{vma.end:#x}) overlaps "
+                    f"[{existing.start:#x},{existing.end:#x})"
+                )
+        self.vmas.append(vma)
+        self.vmas.sort(key=lambda v: v.start)
+
+    def remove_vma(self, vma: Vma) -> None:
+        """Remove a VMA object."""
+        try:
+            self.vmas.remove(vma)
+        except ValueError:
+            raise KernelError("removing unknown VMA") from None
+
+    def total_mapped_bytes(self) -> int:
+        """Sum of VMA lengths."""
+        return sum(v.length for v in self.vmas)
+
+
+@dataclass
+class Process:
+    """A simulated task."""
+
+    pid: int
+    name: str
+    mm: MmStruct
+    parent_pid: Optional[int] = None
+    alive: bool = True
+    #: Set by exit(); inspected by robustness tests.
+    exit_code: Optional[int] = None
+
+    def __hash__(self) -> int:
+        return hash(self.pid)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Process) and other.pid == self.pid
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "alive" if self.alive else f"exited({self.exit_code})"
+        return f"<Process {self.pid} {self.name!r} {state}>"

@@ -1,0 +1,54 @@
+"""Reverse mapping: physical page -> virtual mappings.
+
+SoftTRR's tracer "leverages kernel's reverse mapping feature to
+translate a PPN in adj_rbtree to a set of virtual addresses, as a PPN
+can be mapped to multiple virtual addresses" (Section IV-C).  The kernel
+maintains this map on every map/unmap, exactly like Linux's rmap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..errors import KernelError
+
+
+class ReverseMap:
+    """PPN -> set of (pid, vaddr) user mappings."""
+
+    def __init__(self) -> None:
+        self._map: Dict[int, Set[Tuple[int, int]]] = {}
+
+    def add(self, ppn: int, pid: int, vaddr: int) -> None:
+        """Record that ``vaddr`` in process ``pid`` maps ``ppn``."""
+        self._map.setdefault(ppn, set()).add((pid, vaddr))
+
+    def remove(self, ppn: int, pid: int, vaddr: int) -> None:
+        """Forget one mapping; missing entries are an error (kernel bug)."""
+        mappings = self._map.get(ppn)
+        if not mappings or (pid, vaddr) not in mappings:
+            raise KernelError(
+                f"rmap: unmapping untracked ({pid}, {vaddr:#x}) -> {ppn:#x}"
+            )
+        mappings.discard((pid, vaddr))
+        if not mappings:
+            del self._map[ppn]
+
+    def remove_process(self, pid: int) -> None:
+        """Drop every mapping of a process (exit teardown backstop)."""
+        for ppn in list(self._map):
+            self._map[ppn] = {m for m in self._map[ppn] if m[0] != pid}
+            if not self._map[ppn]:
+                del self._map[ppn]
+
+    def mappings_of(self, ppn: int) -> List[Tuple[int, int]]:
+        """All (pid, vaddr) pairs mapping ``ppn`` (possibly empty)."""
+        return sorted(self._map.get(ppn, ()))
+
+    def is_mapped(self, ppn: int) -> bool:
+        """Whether any process maps ``ppn``."""
+        return ppn in self._map
+
+    def mapped_page_count(self) -> int:
+        """Number of distinct mapped PPNs."""
+        return len(self._map)

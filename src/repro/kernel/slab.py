@@ -1,0 +1,115 @@
+"""Slab allocator for small kernel objects.
+
+SoftTRR allocates its red-black-tree nodes "using the slab allocator,
+an efficient memory management mechanism intended for the kernel's small
+object allocation" (Section IV-A).  The Fig. 4 memory-consumption curves
+are exactly the footprint of these caches plus the pre-allocated PTE
+ring buffer, so the model tracks both object-level and page-level usage.
+
+The cache grabs whole pages from a page-frame provider and slices them
+into fixed-size slots; freed slots go on a free list and are reused
+before new pages are taken.  Empty pages are returned to the provider
+opportunistically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set
+
+from ..errors import ConfigError, KernelError
+
+PAGE_BYTES = 4096
+
+
+class SlabCache:
+    """A fixed-object-size slab cache.
+
+    ``page_alloc``/``page_free`` supply and reclaim backing frames; they
+    default to pure bookkeeping (no real frames) so the cache can also be
+    used standalone in tests.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        obj_size: int,
+        page_alloc: Optional[Callable[[], int]] = None,
+        page_free: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if obj_size <= 0 or obj_size > PAGE_BYTES:
+            raise ConfigError(f"slab object size {obj_size} out of range")
+        self.name = name
+        self.obj_size = obj_size
+        self.objs_per_page = PAGE_BYTES // obj_size
+        self._page_alloc = page_alloc
+        self._page_free = page_free
+        self._fake_next_page = 1 << 40  # synthetic ppn space when unbacked
+        # page ppn -> set of free slot indexes
+        self._free_slots: Dict[int, Set[int]] = {}
+        # live object handle -> (page, slot)
+        self._live: Dict[int, tuple] = {}
+        self._next_handle = 1
+        self.live_objects = 0
+        self.total_allocs = 0
+        self.total_frees = 0
+
+    # ------------------------------------------------------------- pages
+    def _take_page(self) -> int:
+        if self._page_alloc is not None:
+            page = self._page_alloc()
+        else:
+            page = self._fake_next_page
+            self._fake_next_page += 1
+        self._free_slots[page] = set(range(self.objs_per_page))
+        return page
+
+    def _release_page(self, page: int) -> None:
+        del self._free_slots[page]
+        if self._page_free is not None:
+            self._page_free(page)
+
+    # ------------------------------------------------------------- alloc
+    def alloc(self) -> int:
+        """Allocate one object; returns an opaque handle."""
+        page = None
+        for candidate, slots in self._free_slots.items():
+            if slots:
+                page = candidate
+                break
+        if page is None:
+            page = self._take_page()
+        slot = min(self._free_slots[page])
+        self._free_slots[page].discard(slot)
+        handle = self._next_handle
+        self._next_handle += 1
+        self._live[handle] = (page, slot)
+        self.live_objects += 1
+        self.total_allocs += 1
+        return handle
+
+    def free(self, handle: int) -> None:
+        """Free an object handle."""
+        location = self._live.pop(handle, None)
+        if location is None:
+            raise KernelError(f"slab {self.name}: free of dead handle {handle}")
+        page, slot = location
+        self._free_slots[page].add(slot)
+        self.live_objects -= 1
+        self.total_frees += 1
+        # Return fully-free pages (keep one warm page, like real slab).
+        if len(self._free_slots[page]) == self.objs_per_page:
+            if len(self._free_slots) > 1:
+                self._release_page(page)
+
+    # ------------------------------------------------------------- stats
+    def pages_held(self) -> int:
+        """Backing pages currently held by the cache."""
+        return len(self._free_slots)
+
+    def bytes_held(self) -> int:
+        """Footprint in bytes (page-granular, as /proc/slabinfo counts)."""
+        return self.pages_held() * PAGE_BYTES
+
+    def bytes_live(self) -> int:
+        """Bytes in actually-live objects (object-granular)."""
+        return self.live_objects * self.obj_size

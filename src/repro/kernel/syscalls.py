@@ -1,0 +1,233 @@
+"""The syscall surface exercised by the Table V robustness tests.
+
+Table V stress-tests 20 syscalls of five types (file, network, memory,
+process, misc) on the vanilla system and under SoftTRR Δ±1 / Δ±6.  This
+module provides those 20 entry points over the mini-kernel, with small
+in-memory file and socket tables.  Every syscall goes through
+:meth:`SyscallTable._enter`, which dispatches pending kernel timers and
+charges syscall cost — so a loaded SoftTRR module's timer work really
+interleaves with syscall storms, which is what the robustness test is
+probing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import BadAddressError, KernelError
+from .process import Process
+from .vma import VmaFlags
+
+
+@dataclass
+class OpenFile:
+    """A file-table entry."""
+
+    name: str
+    data: bytearray = field(default_factory=bytearray)
+    offset: int = 0
+
+
+@dataclass
+class Socket:
+    """A socket-table entry."""
+
+    family: str = "inet"
+    listening: bool = False
+    backlog: int = 0
+    #: In-flight message queue (loopback semantics).
+    queue: List[bytes] = field(default_factory=list)
+
+
+class SyscallTable:
+    """POSIX-ish syscalls over the mini-kernel."""
+
+    def __init__(self, kernel) -> None:
+        self.kernel = kernel
+        self._files: Dict[str, bytearray] = {}
+        self._fds: Dict[int, Dict[int, OpenFile]] = {}
+        self._sockets: Dict[int, Dict[int, Socket]] = {}
+        self._next_fd: Dict[int, int] = {}
+        self._prctl_names: Dict[int, str] = {}
+        self.calls = 0
+
+    def _enter(self, process: Process) -> None:
+        self.calls += 1
+        self.kernel.dispatch_timers()
+        self.kernel.clock.advance(self.kernel.cost.syscall_ns)
+        if self.kernel.current is not process:
+            self.kernel.switch_to(process)
+
+    def _fd_table(self, process: Process) -> Dict[int, OpenFile]:
+        return self._fds.setdefault(process.pid, {})
+
+    def _sock_table(self, process: Process) -> Dict[int, Socket]:
+        return self._sockets.setdefault(process.pid, {})
+
+    def _alloc_fd(self, process: Process) -> int:
+        fd = self._next_fd.get(process.pid, 3)
+        self._next_fd[process.pid] = fd + 1
+        return fd
+
+    # ================================================================ file
+    def open(self, process: Process, name: str, create: bool = True) -> int:
+        """open(2): returns a file descriptor."""
+        self._enter(process)
+        if name not in self._files:
+            if not create:
+                raise KernelError(f"open: no such file {name!r}")
+            self._files[name] = bytearray()
+        fd = self._alloc_fd(process)
+        self._fd_table(process)[fd] = OpenFile(name=name,
+                                               data=self._files[name])
+        return fd
+
+    def close(self, process: Process, fd: int) -> None:
+        """close(2)."""
+        self._enter(process)
+        if self._fd_table(process).pop(fd, None) is None and \
+                self._sock_table(process).pop(fd, None) is None:
+            raise KernelError(f"close: bad fd {fd}")
+
+    def ftruncate(self, process: Process, fd: int, length: int) -> None:
+        """ftruncate(2)."""
+        self._enter(process)
+        entry = self._fd_table(process).get(fd)
+        if entry is None:
+            raise KernelError(f"ftruncate: bad fd {fd}")
+        if length < 0:
+            raise KernelError("ftruncate: negative length")
+        current = self._files[entry.name]
+        if length <= len(current):
+            del current[length:]
+        else:
+            current.extend(b"\x00" * (length - len(current)))
+
+    def rename(self, process: Process, old: str, new: str) -> None:
+        """rename(2)."""
+        self._enter(process)
+        if old not in self._files:
+            raise KernelError(f"rename: no such file {old!r}")
+        self._files[new] = self._files.pop(old)
+        for table in self._fds.values():
+            for entry in table.values():
+                if entry.name == old:
+                    entry.name = new
+
+    def write(self, process: Process, fd: int, data: bytes) -> int:
+        """write(2) (needed by several stress loops)."""
+        self._enter(process)
+        entry = self._fd_table(process).get(fd)
+        if entry is None:
+            raise KernelError(f"write: bad fd {fd}")
+        entry.data.extend(data)
+        return len(data)
+
+    # ============================================================= network
+    def socket(self, process: Process) -> int:
+        """socket(2)."""
+        self._enter(process)
+        fd = self._alloc_fd(process)
+        self._sock_table(process)[fd] = Socket()
+        return fd
+
+    def listen(self, process: Process, fd: int, backlog: int = 16) -> None:
+        """listen(2)."""
+        self._enter(process)
+        sock = self._sock_table(process).get(fd)
+        if sock is None:
+            raise KernelError(f"listen: bad socket fd {fd}")
+        sock.listening = True
+        sock.backlog = backlog
+
+    def send(self, process: Process, fd: int, data: bytes) -> int:
+        """send(2) (loopback: lands in the socket's own queue)."""
+        self._enter(process)
+        sock = self._sock_table(process).get(fd)
+        if sock is None:
+            raise KernelError(f"send: bad socket fd {fd}")
+        sock.queue.append(bytes(data))
+        return len(data)
+
+    def recv(self, process: Process, fd: int, size: int) -> bytes:
+        """recv(2)."""
+        self._enter(process)
+        sock = self._sock_table(process).get(fd)
+        if sock is None:
+            raise KernelError(f"recv: bad socket fd {fd}")
+        if not sock.queue:
+            return b""
+        head = sock.queue.pop(0)
+        return head[:size]
+
+    # ============================================================== memory
+    def mmap(self, process: Process, length: int, *,
+             huge: bool = False, name: str = "anon") -> int:
+        """mmap(2) (anonymous)."""
+        # Kernel mmap path charges its own syscall cost.
+        return self.kernel.mmap(process, length, huge=huge, name=name)
+
+    def munmap(self, process: Process, vaddr: int, length: int) -> None:
+        """munmap(2)."""
+        self.kernel.munmap(process, vaddr, length)
+
+    def brk(self, process: Process, new_brk: int) -> int:
+        """brk(2)."""
+        return self.kernel.brk(process, new_brk)
+
+    def mlock(self, process: Process, vaddr: int, length: int) -> None:
+        """mlock(2)."""
+        self.kernel.mlock(process, vaddr, length)
+
+    def munlock(self, process: Process, vaddr: int, length: int) -> None:
+        """munlock(2): drops the LOCKED attribute (frames stay mapped)."""
+        self._enter(process)
+        vma = process.mm.find_vma(vaddr)
+        if vma is None:
+            raise BadAddressError(vaddr, "munlock of unmapped range")
+        vma.flags &= ~VmaFlags.LOCKED
+
+    def mremap(self, process: Process, old_vaddr: int, old_len: int,
+               new_len: int) -> int:
+        """mremap(2)."""
+        return self.kernel.mremap(process, old_vaddr, old_len, new_len)
+
+    # ============================================================= process
+    def getpid(self, process: Process) -> int:
+        """getpid(2)."""
+        self._enter(process)
+        return process.pid
+
+    def clone(self, process: Process, name: Optional[str] = None) -> Process:
+        """clone(2)/fork(2)."""
+        self._enter(process)
+        return self.kernel.fork(process, name)
+
+    def exit(self, process: Process, code: int = 0) -> None:
+        """exit(2)."""
+        self._enter(process)
+        self._fds.pop(process.pid, None)
+        self._sockets.pop(process.pid, None)
+        self.kernel.exit_process(process, code)
+
+    # ================================================================ misc
+    def ioctl(self, process: Process, fd: int, request: int) -> int:
+        """ioctl(2): accepted on any open fd; returns 0."""
+        self._enter(process)
+        if fd not in self._fd_table(process) and \
+                fd not in self._sock_table(process):
+            raise KernelError(f"ioctl: bad fd {fd}")
+        return 0
+
+    def prctl(self, process: Process, name: str) -> int:
+        """prctl(2) (PR_SET_NAME flavour)."""
+        self._enter(process)
+        self._prctl_names[process.pid] = name[:16]
+        process.name = name[:16]
+        return 0
+
+    def vhangup(self, process: Process) -> int:
+        """vhangup(2): hang up the controlling terminal (modelled no-op)."""
+        self._enter(process)
+        return 0

@@ -1,0 +1,40 @@
+"""x86-64 MMU substrate: PTEs, page walks, TLB, cache, page faults.
+
+SoftTRR's Adjacent Page Tracer works entirely through MMU mechanisms:
+it sets an unused *reserved* bit (bit 51) in leaf PTEs so the next access
+to the traced page takes a page fault whose error code has the RSVD bit
+set (Figure 2 of the paper), and it flushes the stale TLB entry so the
+hardware actually re-walks the tables.  PThammer, conversely, abuses the
+page walk itself: a TLB- and cache-missing load forces the CPU to fetch
+the L1PTE from DRAM, activating the page-table row.  Both behaviours
+need a bit-accurate 4-level MMU, which this package provides:
+
+* :mod:`repro.mmu.bits` — PTE flag layout, including rsvd bit 51.
+* :mod:`repro.mmu.faults` — page-fault error codes per Figure 2.
+* :mod:`repro.mmu.cache` — CPU cache with ``clflush``.
+* :mod:`repro.mmu.tlb` — TLB with ``invlpg`` and 2 MiB entries.
+* :mod:`repro.mmu.page_table` — page-table entry load/store over DRAM.
+* :mod:`repro.mmu.walker` — the 4-level translation walk.
+* :mod:`repro.mmu.mmu` — the :class:`~repro.mmu.mmu.Mmu` facade.
+"""
+
+from . import bits
+from .faults import ErrorCode, PageFaultInfo
+from .cache import CpuCache
+from .tlb import Tlb, TlbEntry
+from .page_table import PageTableOps
+from .walker import Translation, Walker
+from .mmu import Mmu
+
+__all__ = [
+    "bits",
+    "ErrorCode",
+    "PageFaultInfo",
+    "CpuCache",
+    "Tlb",
+    "TlbEntry",
+    "PageTableOps",
+    "Translation",
+    "Walker",
+    "Mmu",
+]

@@ -1,0 +1,183 @@
+"""The MMU facade: TLB + walker + cache in front of DRAM.
+
+:class:`Mmu` is the CPU-side memory interface the kernel and user
+processes use.  Responsibilities:
+
+* :meth:`translate` — TLB-first translation; misses run the hardware
+  walk (whose PTE loads are real DRAM traffic) and fill the TLB.
+* :meth:`load` / :meth:`store` — user-mode data accesses, split per
+  page, permission-checked, raising :class:`PageFaultException` for the
+  kernel to repair.
+* :meth:`phys_load` / :meth:`phys_store` — kernel-mode accesses through
+  the direct-physical map (no user page tables involved, but still
+  through the cache, so they cost time and can activate rows — the Row
+  Refresher depends on exactly that).
+* :meth:`clflush` / :meth:`invlpg` — the instructions SoftTRR and the
+  attacks lean on.
+
+The MMU is context-free: CR3 is a parameter, and the kernel flushes the
+TLB on context switch (:meth:`on_context_switch`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..clock import SimClock
+from ..dram.module import DramModule
+from ..errors import PageFaultException
+from . import bits
+from .cache import CpuCache
+from .faults import PageFaultInfo, access_error_code
+from .page_table import PageTableOps
+from .tlb import Tlb, TlbEntry
+from .walker import Translation, Walker
+
+
+class Mmu:
+    """CPU memory-management unit over a DRAM module."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        dram: DramModule,
+        *,
+        cache_lines: int = 8192,
+        cache_hit_ns: int = 1,
+        clflush_ns: int = 12,
+        tlb_hit_ns: int = 1,
+        invlpg_ns: int = 150,
+    ) -> None:
+        self.clock = clock
+        self.dram = dram
+        self.cache = CpuCache(
+            clock, capacity_lines=cache_lines,
+            hit_ns=cache_hit_ns, clflush_ns=clflush_ns,
+        )
+        self.tlb = Tlb(clock, hit_ns=tlb_hit_ns)
+        self.pt_ops = PageTableOps(dram, self.cache)
+        self.walker = Walker(self.pt_ops)
+        self.invlpg_ns = invlpg_ns
+
+    # -------------------------------------------------------- translation
+    def translate(
+        self,
+        cr3_ppn: int,
+        vaddr: int,
+        *,
+        is_write: bool = False,
+        is_user: bool = True,
+        is_fetch: bool = False,
+        pid: Optional[int] = None,
+    ) -> Translation:
+        """Translate one virtual address, using the TLB when possible."""
+        cached = self.tlb.lookup(vaddr)
+        if cached is not None:
+            self._check_cached_permissions(
+                vaddr, cached, is_write=is_write, is_user=is_user,
+                is_fetch=is_fetch, pid=pid,
+            )
+            if cached.leaf_level == 2:
+                ppn = cached.ppn + bits.level_index(vaddr, 1)
+            else:
+                ppn = cached.ppn
+            return Translation(
+                ppn=ppn, base_ppn=cached.ppn, flags=cached.flags,
+                leaf_level=cached.leaf_level, pte_paddr=cached.pte_paddr,
+            )
+        translation = self.walker.walk(
+            cr3_ppn, vaddr,
+            is_write=is_write, is_user=is_user, is_fetch=is_fetch, pid=pid,
+        )
+        self.tlb.fill(vaddr, TlbEntry(
+            ppn=translation.base_ppn,
+            flags=translation.flags,
+            leaf_level=translation.leaf_level,
+            pte_paddr=translation.pte_paddr,
+        ))
+        return translation
+
+    def _check_cached_permissions(
+        self, vaddr: int, entry: TlbEntry, *, is_write: bool,
+        is_user: bool, is_fetch: bool, pid: Optional[int],
+    ) -> None:
+        violation = (
+            (is_user and not entry.flags & bits.PTE_USER)
+            or (is_write and is_user and not entry.flags & bits.PTE_RW)
+            or (is_fetch and entry.flags & bits.PTE_NX)
+        )
+        if violation:
+            raise PageFaultException(PageFaultInfo(
+                vaddr=vaddr,
+                error_code=access_error_code(
+                    is_write=is_write, is_user=is_user, is_fetch=is_fetch,
+                    present=True,
+                ),
+                leaf_level=entry.leaf_level,
+                pte_paddr=entry.pte_paddr,
+                pid=pid,
+            ))
+
+    # ------------------------------------------------------- user access
+    def load(
+        self, cr3_ppn: int, vaddr: int, size: int, *,
+        is_user: bool = True, is_fetch: bool = False,
+        pid: Optional[int] = None,
+    ) -> bytes:
+        """User-mode load, split per page; faults propagate."""
+        out = bytearray()
+        cursor = vaddr
+        end = vaddr + size
+        while cursor < end:
+            page_end = bits.page_base(cursor) + 4096
+            chunk = min(page_end - cursor, end - cursor)
+            translation = self.translate(
+                cr3_ppn, cursor, is_write=False, is_user=is_user,
+                is_fetch=is_fetch, pid=pid,
+            )
+            paddr = (translation.ppn << 12) | (cursor & 0xFFF)
+            out.extend(self.cache.load(self.dram, paddr, chunk))
+            cursor += chunk
+        return bytes(out)
+
+    def store(
+        self, cr3_ppn: int, vaddr: int, data: bytes, *,
+        is_user: bool = True, pid: Optional[int] = None,
+    ) -> None:
+        """User-mode store, split per page; faults propagate."""
+        cursor = vaddr
+        pos = 0
+        end = vaddr + len(data)
+        while cursor < end:
+            page_end = bits.page_base(cursor) + 4096
+            chunk = min(page_end - cursor, end - cursor)
+            translation = self.translate(
+                cr3_ppn, cursor, is_write=True, is_user=is_user, pid=pid,
+            )
+            paddr = (translation.ppn << 12) | (cursor & 0xFFF)
+            self.cache.store(self.dram, paddr, data[pos:pos + chunk])
+            cursor += chunk
+            pos += chunk
+
+    # ------------------------------------------------------ kernel access
+    def phys_load(self, paddr: int, size: int) -> bytes:
+        """Kernel read through the direct-physical map."""
+        return self.cache.load(self.dram, paddr, size)
+
+    def phys_store(self, paddr: int, data: bytes) -> None:
+        """Kernel write through the direct-physical map."""
+        self.cache.store(self.dram, paddr, data)
+
+    # -------------------------------------------------------- maintenance
+    def clflush(self, paddr: int) -> None:
+        """Flush one cache line by physical address."""
+        self.cache.clflush(paddr)
+
+    def invlpg(self, vaddr: int) -> None:
+        """Invalidate the TLB entry covering ``vaddr``."""
+        self.tlb.invlpg(vaddr)
+        self.clock.advance(self.invlpg_ns)
+
+    def on_context_switch(self) -> None:
+        """CR3 reload semantics: drop all (non-global) TLB entries."""
+        self.tlb.flush_all()

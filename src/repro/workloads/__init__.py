@@ -1,0 +1,32 @@
+"""Benchmark workloads for the Section VI performance evaluation.
+
+* :mod:`repro.workloads.base` — the deterministic slice-based workload
+  engine driving the simulated kernel/MMU/DRAM.
+* :mod:`repro.workloads.spec` — the 10 SPECspeed 2017 Integer-like
+  programs of Table III.
+* :mod:`repro.workloads.phoronix` — the 17 Phoronix-like programs of
+  Table IV (CPU, memory, network I/O and disk I/O stressors).
+* :mod:`repro.workloads.lamp` — the LAMP server + Nikto scanner of
+  Figures 4 and 5.
+* :mod:`repro.workloads.ltp` — the 20 LTP-style syscall stress tests of
+  Table V.
+"""
+
+from .base import SliceWorkload, WorkloadProfile, WorkloadResult
+from .spec import SPEC_PROFILES
+from .phoronix import PHORONIX_PROFILES
+from .lamp import LampSimulation, LampSample
+from .ltp import LTP_STRESS_TESTS, run_stress_test, StressResult
+
+__all__ = [
+    "SliceWorkload",
+    "WorkloadProfile",
+    "WorkloadResult",
+    "SPEC_PROFILES",
+    "PHORONIX_PROFILES",
+    "LampSimulation",
+    "LampSample",
+    "LTP_STRESS_TESTS",
+    "run_stress_test",
+    "StressResult",
+]

@@ -1,0 +1,229 @@
+"""LTP-style syscall stress tests (Table V).
+
+Table V stress-tests 20 syscalls of five categories on the vanilla
+system and under SoftTRR Δ±1 / Δ±6, expecting zero deviation.  Each
+stress driver here loops its syscall with integrity checks (not just
+"no crash": data written must read back, children must inherit parent
+memory, remapped regions must keep their contents) and reports a
+:class:`StressResult`.
+
+The drivers are also what demonstrates the present-bit tracer's fatal
+flaw: under ``SoftTrrParams(trace_bit="present")`` the ``clone`` stress
+panics the kernel (Section IV-C), while the reserved-bit default sails
+through all twenty.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..errors import ReproError
+from ..kernel.syscalls import SyscallTable
+from ..kernel.vma import PAGE
+
+
+@dataclass
+class StressResult:
+    """Outcome of one stress driver (a Table V cell)."""
+
+    name: str
+    category: str
+    iterations: int
+    passed: bool
+    error: Optional[str] = None
+
+
+def _stress_open(kernel, sys, proc, n, rng):
+    for i in range(n):
+        fd = sys.open(proc, f"file-{i % 7}")
+        sys.close(proc, fd)
+
+
+def _stress_close(kernel, sys, proc, n, rng):
+    fds = [sys.open(proc, f"c-{i % 5}") for i in range(min(n, 64))]
+    for fd in fds:
+        sys.close(proc, fd)
+
+
+def _stress_ftruncate(kernel, sys, proc, n, rng):
+    fd = sys.open(proc, "trunc")
+    for i in range(n):
+        size = rng.randrange(0, 4096)
+        sys.ftruncate(proc, fd, size)
+        assert len(sys._files["trunc"]) == size
+    sys.close(proc, fd)
+
+
+def _stress_rename(kernel, sys, proc, n, rng):
+    fd = sys.open(proc, "name-0")
+    sys.write(proc, fd, b"payload")
+    sys.close(proc, fd)
+    for i in range(n):
+        sys.rename(proc, f"name-{i}", f"name-{i + 1}")
+    assert bytes(sys._files[f"name-{n}"]) == b"payload"
+
+
+def _stress_listen(kernel, sys, proc, n, rng):
+    fd = sys.socket(proc)
+    for i in range(n):
+        sys.listen(proc, fd, backlog=(i % 128) + 1)
+    sys.close(proc, fd)
+
+
+def _stress_socket(kernel, sys, proc, n, rng):
+    for i in range(n):
+        fd = sys.socket(proc)
+        sys.close(proc, fd)
+
+
+def _stress_send(kernel, sys, proc, n, rng):
+    fd = sys.socket(proc)
+    for i in range(n):
+        assert sys.send(proc, fd, b"x" * (i % 100 + 1)) == i % 100 + 1
+    sys.close(proc, fd)
+
+
+def _stress_recv(kernel, sys, proc, n, rng):
+    fd = sys.socket(proc)
+    for i in range(n):
+        payload = bytes([i & 0xFF]) * 8
+        sys.send(proc, fd, payload)
+        assert sys.recv(proc, fd, 8) == payload
+    sys.close(proc, fd)
+
+
+def _stress_mmap(kernel, sys, proc, n, rng):
+    for i in range(n):
+        base = sys.mmap(proc, 4 * PAGE)
+        kernel.user_write(proc, base, bytes([i & 0xFF]))
+        assert kernel.user_read(proc, base, 1) == bytes([i & 0xFF])
+        sys.munmap(proc, base, 4 * PAGE)
+
+
+def _stress_munmap(kernel, sys, proc, n, rng):
+    bases = [sys.mmap(proc, 2 * PAGE) for _ in range(min(n, 48))]
+    for base in bases:
+        kernel.user_write(proc, base, b"m")
+        sys.munmap(proc, base, 2 * PAGE)
+    for base in bases:
+        assert proc.mm.find_vma(base) is None
+
+
+def _stress_brk(kernel, sys, proc, n, rng):
+    start = proc.mm.brk
+    for i in range(n):
+        grown = sys.brk(proc, start + ((i % 8) + 1) * PAGE)
+        kernel.user_write(proc, start, b"h")
+        assert kernel.user_read(proc, start, 1) == b"h"
+        sys.brk(proc, start + PAGE)
+    sys.brk(proc, start)
+
+
+def _stress_mlock(kernel, sys, proc, n, rng):
+    base = sys.mmap(proc, 8 * PAGE)
+    for i in range(n):
+        sys.mlock(proc, base, 8 * PAGE)
+    for i in range(8):
+        assert kernel.mapped_ppn_of(proc, base + i * PAGE) is not None
+
+
+def _stress_munlock(kernel, sys, proc, n, rng):
+    base = sys.mmap(proc, 4 * PAGE)
+    sys.mlock(proc, base, 4 * PAGE)
+    for i in range(n):
+        sys.munlock(proc, base, 4 * PAGE)
+
+
+def _stress_mremap(kernel, sys, proc, n, rng):
+    base = sys.mmap(proc, 2 * PAGE)
+    kernel.user_write(proc, base, b"keep")
+    for i in range(n):
+        base = sys.mremap(proc, base, 2 * PAGE, 2 * PAGE)
+        assert kernel.user_read(proc, base, 4) == b"keep"
+
+
+def _stress_getpid(kernel, sys, proc, n, rng):
+    for _ in range(n):
+        assert sys.getpid(proc) == proc.pid
+
+
+def _stress_exit(kernel, sys, proc, n, rng):
+    for i in range(n):
+        child = sys.clone(proc, name=f"exiter-{i}")
+        sys.exit(child, code=i & 0x7F)
+        assert child.exit_code == (i & 0x7F)
+        assert not child.alive
+
+
+def _stress_clone(kernel, sys, proc, n, rng):
+    base = sys.mmap(proc, 2 * PAGE)
+    kernel.user_write(proc, base, b"inherit")
+    for i in range(n):
+        child = sys.clone(proc)
+        assert kernel.user_read(child, base, 7) == b"inherit"
+        sys.exit(child)
+
+
+def _stress_ioctl(kernel, sys, proc, n, rng):
+    fd = sys.open(proc, "dev-node")
+    for i in range(n):
+        assert sys.ioctl(proc, fd, 0x5401 + i) == 0
+    sys.close(proc, fd)
+
+
+def _stress_prctl(kernel, sys, proc, n, rng):
+    for i in range(n):
+        assert sys.prctl(proc, f"task-{i}") == 0
+    assert proc.name.startswith("task-")
+
+
+def _stress_vhangup(kernel, sys, proc, n, rng):
+    for _ in range(n):
+        assert sys.vhangup(proc) == 0
+
+
+#: Table V rows: name -> (category, driver, default iterations).
+LTP_STRESS_TESTS: Dict[str, Tuple[str, Callable, int]] = {
+    "open": ("File", _stress_open, 120),
+    "close": ("File", _stress_close, 120),
+    "ftruncate": ("File", _stress_ftruncate, 120),
+    "rename": ("File", _stress_rename, 120),
+    "Listen": ("Network", _stress_listen, 120),
+    "Socket": ("Network", _stress_socket, 120),
+    "Send": ("Network", _stress_send, 120),
+    "Recv": ("Network", _stress_recv, 120),
+    "mmap": ("Memory", _stress_mmap, 60),
+    "munmap": ("Memory", _stress_munmap, 60),
+    "brk": ("Memory", _stress_brk, 60),
+    "mlock": ("Memory", _stress_mlock, 40),
+    "munlock": ("Memory", _stress_munlock, 60),
+    "mremap": ("Memory", _stress_mremap, 40),
+    "getpid": ("Process", _stress_getpid, 200),
+    "exit": ("Process", _stress_exit, 25),
+    "clone": ("Process", _stress_clone, 25),
+    "ioctl": ("Misc.", _stress_ioctl, 120),
+    "prctl": ("Misc.", _stress_prctl, 120),
+    "vhangup": ("Misc.", _stress_vhangup, 120),
+}
+
+
+def run_stress_test(kernel, name: str,
+                    iterations: Optional[int] = None) -> StressResult:
+    """Run one Table V stress driver on a fresh process."""
+    category, driver, default_iters = LTP_STRESS_TESTS[name]
+    n = iterations if iterations is not None else default_iters
+    sys = SyscallTable(kernel)
+    proc = kernel.create_process(f"ltp-{name}")
+    rng = random.Random(f"ltp:{name}")
+    try:
+        driver(kernel, sys, proc, n, rng)
+    except (ReproError, AssertionError) as exc:
+        return StressResult(name=name, category=category, iterations=n,
+                            passed=False, error=f"{type(exc).__name__}: {exc}")
+    finally:
+        if proc.alive and proc.pid in kernel.processes:
+            kernel.exit_process(proc)
+    return StressResult(name=name, category=category, iterations=n,
+                        passed=True)

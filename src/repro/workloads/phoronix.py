@@ -1,0 +1,126 @@
+"""Phoronix-like programs (Table IV).
+
+The paper "select[s] a subset of the available programs to stress-test
+performance of CPU, memory, network I/O and disk I/O"; the seventeen
+rows of Table IV are modelled with matching categories:
+
+* server/network: ``Apache`` (fork + socket churn);
+* disk I/O: ``unpack-linux``, ``iozone``, ``postmark`` (file syscalls +
+  page churn);
+* memory bandwidth: the four ``stream:*`` kernels and two ``ramspeed:*``
+  runs (large streaming footprints);
+* CPU: ``compress-7zip``, ``openssl``, ``pybench``, ``phpbench``;
+* cache: the three ``cacheben:*`` variants (cache-resident hot sets).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .base import WorkloadProfile
+
+PHX_DURATION_MS = 140
+
+PHORONIX_PROFILES: Dict[str, WorkloadProfile] = {
+    profile.name: profile
+    for profile in (
+        WorkloadProfile(
+            name="Apache", duration_ms=PHX_DURATION_MS, category="network",
+            hot_pages=12, cold_pool_pages=192, cold_touches=5,
+            write_fraction=0.4, churn_prob=0.15, churn_pages=6,
+            fork_every_slices=24, syscalls_per_slice=4,
+        ),
+        WorkloadProfile(
+            name="unpack-linux", duration_ms=PHX_DURATION_MS, category="disk",
+            hot_pages=14, cold_pool_pages=320, cold_touches=8,
+            write_fraction=0.7, churn_prob=0.35, churn_pages=12,
+            syscalls_per_slice=6,
+        ),
+        WorkloadProfile(
+            name="iozone", duration_ms=PHX_DURATION_MS, category="disk",
+            hot_pages=16, cold_pool_pages=384, cold_touches=8,
+            write_fraction=0.6, churn_prob=0.1, churn_pages=16,
+            syscalls_per_slice=8,
+        ),
+        WorkloadProfile(
+            name="postmark", duration_ms=PHX_DURATION_MS, category="disk",
+            hot_pages=10, cold_pool_pages=192, cold_touches=6,
+            write_fraction=0.55, churn_prob=0.25, churn_pages=4,
+            syscalls_per_slice=10,
+        ),
+        WorkloadProfile(
+            name="stream:Copy", duration_ms=PHX_DURATION_MS, category="memory",
+            hot_pages=24, cold_pool_pages=512, cold_touches=12,
+            write_fraction=0.5, churn_prob=0.0,
+        ),
+        WorkloadProfile(
+            name="stream:Scale", duration_ms=PHX_DURATION_MS, category="memory",
+            hot_pages=24, cold_pool_pages=512, cold_touches=12,
+            write_fraction=0.5, churn_prob=0.0,
+        ),
+        WorkloadProfile(
+            name="stream:Triad", duration_ms=PHX_DURATION_MS, category="memory",
+            hot_pages=26, cold_pool_pages=512, cold_touches=12,
+            write_fraction=0.45, churn_prob=0.0,
+        ),
+        WorkloadProfile(
+            name="stream:Add", duration_ms=PHX_DURATION_MS, category="memory",
+            hot_pages=26, cold_pool_pages=512, cold_touches=12,
+            write_fraction=0.45, churn_prob=0.0,
+        ),
+        WorkloadProfile(
+            name="compress-7zip", duration_ms=PHX_DURATION_MS, category="cpu",
+            hot_pages=22, cold_pool_pages=448, cold_touches=8,
+            write_fraction=0.5, churn_prob=0.08, churn_pages=8,
+        ),
+        WorkloadProfile(
+            name="openssl", duration_ms=PHX_DURATION_MS, category="cpu",
+            hot_pages=6, cold_pool_pages=64, cold_touches=2,
+            write_fraction=0.2, churn_prob=0.0,
+        ),
+        WorkloadProfile(
+            name="pybench", duration_ms=PHX_DURATION_MS, category="cpu",
+            hot_pages=10, cold_pool_pages=128, cold_touches=4,
+            write_fraction=0.35, churn_prob=0.05, churn_pages=4,
+        ),
+        WorkloadProfile(
+            name="phpbench", duration_ms=PHX_DURATION_MS, category="cpu",
+            hot_pages=10, cold_pool_pages=128, cold_touches=4,
+            write_fraction=0.35, churn_prob=0.06, churn_pages=4,
+        ),
+        WorkloadProfile(
+            name="cacheben:read", duration_ms=PHX_DURATION_MS, category="cache",
+            hot_pages=8, cold_pool_pages=96, cold_touches=2,
+            write_fraction=0.0, churn_prob=0.0,
+        ),
+        WorkloadProfile(
+            name="cacheben:write", duration_ms=PHX_DURATION_MS, category="cache",
+            hot_pages=8, cold_pool_pages=96, cold_touches=2,
+            write_fraction=1.0, churn_prob=0.0,
+        ),
+        WorkloadProfile(
+            name="cacheben:modify", duration_ms=PHX_DURATION_MS, category="cache",
+            hot_pages=8, cold_pool_pages=96, cold_touches=2,
+            write_fraction=0.5, churn_prob=0.0,
+        ),
+        WorkloadProfile(
+            name="ramspeed:INT", duration_ms=PHX_DURATION_MS, category="memory",
+            hot_pages=20, cold_pool_pages=448, cold_touches=10,
+            write_fraction=0.4, churn_prob=0.0,
+        ),
+        WorkloadProfile(
+            name="ramspeed:FP", duration_ms=PHX_DURATION_MS, category="memory",
+            hot_pages=20, cold_pool_pages=448, cold_touches=10,
+            write_fraction=0.4, churn_prob=0.0,
+        ),
+    )
+}
+
+#: Table IV row order.
+PHORONIX_ORDER = [
+    "Apache", "unpack-linux", "iozone", "postmark",
+    "stream:Copy", "stream:Scale", "stream:Triad", "stream:Add",
+    "compress-7zip", "openssl", "pybench", "phpbench",
+    "cacheben:read", "cacheben:write", "cacheben:modify",
+    "ramspeed:INT", "ramspeed:FP",
+]

@@ -1,0 +1,86 @@
+"""SPECspeed 2017 Integer-like programs (Table III).
+
+Each profile mirrors the qualitative memory behaviour of the real
+benchmark at slice-engine scale:
+
+* ``mcf_s`` / ``omnetpp_s`` / ``xalancbmk_s`` — large, pointer-chasing
+  footprints with bigger per-ms resident sets (these carry the highest
+  Δ±6 overheads in Table III);
+* ``gcc_s`` — heavy allocation churn (compilers mmap constantly);
+* ``perlbench_s`` — interpreter with moderate heap churn;
+* ``x264_s`` / ``xz_s`` — streaming over large buffers;
+* ``deepsjeng_s`` / ``leela_s`` — game-tree search, cache-resident;
+* ``exchange2_s`` — tiny footprint, essentially pure compute (the
+  near-zero/negative rows of Table III).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .base import WorkloadProfile
+
+#: Default slice count per program (each slice = 1 ms simulated).
+SPEC_DURATION_MS = 160
+
+SPEC_PROFILES: Dict[str, WorkloadProfile] = {
+    profile.name: profile
+    for profile in (
+        WorkloadProfile(
+            name="perlbench_s", duration_ms=SPEC_DURATION_MS,
+            hot_pages=14, cold_pool_pages=192, cold_touches=5,
+            write_fraction=0.35, churn_prob=0.08, churn_pages=6,
+        ),
+        WorkloadProfile(
+            name="gcc_s", duration_ms=SPEC_DURATION_MS,
+            hot_pages=16, cold_pool_pages=256, cold_touches=6,
+            write_fraction=0.4, churn_prob=0.25, churn_pages=10,
+        ),
+        WorkloadProfile(
+            name="mcf_s", duration_ms=SPEC_DURATION_MS,
+            hot_pages=26, cold_pool_pages=512, cold_touches=10,
+            write_fraction=0.3, churn_prob=0.02,
+        ),
+        WorkloadProfile(
+            name="omnetpp_s", duration_ms=SPEC_DURATION_MS,
+            hot_pages=30, cold_pool_pages=448, cold_touches=9,
+            write_fraction=0.45, churn_prob=0.1, churn_pages=8,
+        ),
+        WorkloadProfile(
+            name="xalancbmk_s", duration_ms=SPEC_DURATION_MS,
+            hot_pages=34, cold_pool_pages=512, cold_touches=10,
+            write_fraction=0.35, churn_prob=0.12, churn_pages=8,
+        ),
+        WorkloadProfile(
+            name="x264_s", duration_ms=SPEC_DURATION_MS,
+            hot_pages=18, cold_pool_pages=320, cold_touches=6,
+            write_fraction=0.5, churn_prob=0.0,
+        ),
+        WorkloadProfile(
+            name="deepsjeng_s", duration_ms=SPEC_DURATION_MS,
+            hot_pages=12, cold_pool_pages=160, cold_touches=4,
+            write_fraction=0.3, churn_prob=0.0,
+        ),
+        WorkloadProfile(
+            name="leela_s", duration_ms=SPEC_DURATION_MS,
+            hot_pages=12, cold_pool_pages=144, cold_touches=4,
+            write_fraction=0.25, churn_prob=0.01,
+        ),
+        WorkloadProfile(
+            name="exchange2_s", duration_ms=SPEC_DURATION_MS,
+            hot_pages=6, cold_pool_pages=64, cold_touches=2,
+            write_fraction=0.2, churn_prob=0.0,
+        ),
+        WorkloadProfile(
+            name="xz_s", duration_ms=SPEC_DURATION_MS,
+            hot_pages=20, cold_pool_pages=384, cold_touches=7,
+            write_fraction=0.55, churn_prob=0.05, churn_pages=12,
+        ),
+    )
+}
+
+#: Table III row order.
+SPEC_ORDER = [
+    "perlbench_s", "gcc_s", "mcf_s", "omnetpp_s", "xalancbmk_s",
+    "x264_s", "deepsjeng_s", "leela_s", "exchange2_s", "xz_s",
+]

@@ -1,0 +1,85 @@
+"""Tests for the offline profile (Section IV-E)."""
+
+import pytest
+
+from repro.clock import NS_PER_MS
+from repro.core.profile import (
+    DEFAULT_ACT_TO_FIRST_FLIP,
+    OfflineProfile,
+    SoftTrrParams,
+)
+from repro.dram.timing import DDR3_TIMINGS, DDR4_TIMINGS, DramTimings
+from repro.errors import ConfigError
+
+
+class TestSoftTrrParams:
+    def test_defaults_match_paper(self):
+        params = SoftTrrParams()
+        assert params.max_distance == 6
+        assert params.timer_inr_ns == NS_PER_MS
+        assert params.count_limit == 2
+        assert params.trace_bit == "rsvd"
+        assert params.protection_window_ns == NS_PER_MS
+
+    def test_count_limit_floor(self):
+        """count_limit must be >= 2 or regular accesses cause refreshes."""
+        with pytest.raises(ConfigError):
+            SoftTrrParams(count_limit=1)
+
+    def test_distance_bounds(self):
+        with pytest.raises(ConfigError):
+            SoftTrrParams(max_distance=0)
+        with pytest.raises(ConfigError):
+            SoftTrrParams(max_distance=7)
+        SoftTrrParams(max_distance=1)  # Delta+-1 is legal
+
+    def test_trace_bit_values(self):
+        SoftTrrParams(trace_bit="present")
+        with pytest.raises(ConfigError):
+            SoftTrrParams(trace_bit="accessed")
+
+    def test_with_distance(self):
+        params = SoftTrrParams().with_distance(1)
+        assert params.max_distance == 1
+        assert params.timer_inr_ns == NS_PER_MS
+
+    def test_protection_window_scales_with_count_limit(self):
+        params = SoftTrrParams(count_limit=3)
+        assert params.protection_window_ns == 2 * NS_PER_MS
+
+
+class TestOfflineProfile:
+    def test_threshold_paper_numbers(self):
+        """tRC ~= 50 ns x #ACT ~= 20 K => threshold ~= 1 ms."""
+        profile = OfflineProfile(DDR3_TIMINGS)
+        assert profile.threshold_ns() == 50 * DEFAULT_ACT_TO_FIRST_FLIP
+        assert profile.threshold_ns() == NS_PER_MS
+
+    def test_derive_lands_on_1ms_and_2(self):
+        profile = OfflineProfile(DDR3_TIMINGS)
+        params = profile.derive()
+        assert params.timer_inr_ns == NS_PER_MS
+        assert params.count_limit == 2
+        assert profile.is_safe(params)
+
+    def test_derive_ddr4(self):
+        profile = OfflineProfile(DDR4_TIMINGS)
+        params = profile.derive()
+        assert profile.is_safe(params)
+        assert params.protection_window_ns <= profile.threshold_ns()
+
+    def test_unsafe_config_detected(self):
+        profile = OfflineProfile(DDR3_TIMINGS)
+        too_slow = SoftTrrParams(timer_inr_ns=10 * NS_PER_MS)
+        assert not profile.is_safe(too_slow)
+
+    def test_derive_respects_distance(self):
+        profile = OfflineProfile(DDR3_TIMINGS)
+        assert profile.derive(max_distance=1).max_distance == 1
+
+    def test_derive_with_weak_dram(self):
+        """More vulnerable DRAM (#ACT smaller) => shorter window."""
+        profile = OfflineProfile(DDR3_TIMINGS, act_to_first_flip=5000)
+        params = profile.derive()
+        assert profile.is_safe(params)
+        assert params.protection_window_ns <= profile.threshold_ns()

@@ -1,0 +1,242 @@
+"""Integration tests: SoftTRR loaded into the mini-kernel.
+
+These exercise the full Figure 1 pipeline — collection, adjacency,
+arming, RSVD-fault capture, charge-leak counting and row refresh —
+against the tiny test machine.
+"""
+
+import pytest
+
+from repro.clock import NS_PER_MS
+from repro.config import tiny_machine
+from repro.core.profile import SoftTrrParams
+from repro.core.softtrr import SoftTrr
+from repro.errors import KernelPanic, SoftTrrError
+from repro.kernel.kernel import Kernel
+from repro.kernel.vma import PAGE
+from repro.mmu import bits
+
+PAGES = 24
+
+
+def build(params=None, *, premap=True):
+    kernel = Kernel(tiny_machine())
+    proc = kernel.create_process("app")
+    base = kernel.mmap(proc, PAGES * PAGE)
+    if premap:
+        for i in range(PAGES):
+            kernel.user_write(proc, base + i * PAGE, bytes([i]))
+    softtrr = SoftTrr(params or SoftTrrParams())
+    kernel.load_module("softtrr", softtrr)
+    return kernel, proc, base, softtrr
+
+
+def find_adjacent_user_vaddr(kernel, proc, base, softtrr):
+    """A user vaddr of `proc` whose page SoftTRR considers adjacent."""
+    for i in range(PAGES):
+        vaddr = base + i * PAGE
+        ppn = kernel.mapped_ppn_of(proc, vaddr)
+        if ppn is not None and softtrr.collector.is_adjacent(ppn):
+            return vaddr
+    pytest.skip("no adjacent user page in this layout")
+
+
+class TestCollection:
+    def test_initial_collection_finds_existing_l1pts(self):
+        kernel, proc, base, softtrr = build()
+        assert softtrr.collector.protected_count() == len(kernel.l1pt_frames())
+        assert softtrr.collector.protected_count() >= 1
+
+    def test_new_l1pt_collected_dynamically(self):
+        kernel, proc, base, softtrr = build()
+        before = softtrr.collector.protected_count()
+        # Map far away so a fresh L1PT page is needed.
+        far = kernel.mmap(proc, PAGE, at=0x0000_7D00_0000_0000)
+        kernel.user_write(proc, far, b"x")
+        assert softtrr.collector.protected_count() == before + 1
+
+    def test_l1pt_release_uncollected(self):
+        kernel, proc, base, softtrr = build()
+        far = kernel.mmap(proc, PAGE, at=0x0000_7D00_0000_0000)
+        kernel.user_write(proc, far, b"x")
+        before = softtrr.collector.protected_count()
+        kernel.munmap(proc, far, PAGE)  # empties + frees that L1PT
+        assert softtrr.collector.protected_count() == before - 1
+
+    def test_adjacent_pages_discovered(self):
+        kernel, proc, base, softtrr = build()
+        assert softtrr.collector.adjacent_count() > 0
+
+    def test_load_time_recorded(self):
+        kernel, proc, base, softtrr = build()
+        assert softtrr.load_time_ns > 0
+
+    def test_double_load_rejected(self):
+        kernel, proc, base, softtrr = build()
+        with pytest.raises(SoftTrrError):
+            softtrr.load(kernel)
+
+
+class TestTracing:
+    def test_tick_arms_adjacent_pages(self):
+        kernel, proc, base, softtrr = build()
+        kernel.clock.advance(NS_PER_MS)
+        kernel.dispatch_timers()
+        assert softtrr.tracer.ticks >= 1
+        assert softtrr.tracer.armed_total > 0
+        # adj_rbtree nodes are freed once armed (Section IV-C).
+        assert len(softtrr.structs.adj_rbtree) == 0
+
+    def test_access_to_armed_page_is_captured_and_resumes(self):
+        kernel, proc, base, softtrr = build()
+        kernel.clock.advance(NS_PER_MS)
+        kernel.dispatch_timers()
+        vaddr = find_adjacent_user_vaddr(kernel, proc, base, softtrr)
+        data = kernel.user_read(proc, vaddr, 1)  # must not crash
+        assert softtrr.tracer.captured_faults >= 1
+        # The read returned the page's real content.
+        index = (vaddr - base) // PAGE
+        assert data == bytes([index])
+
+    def test_one_count_per_interval(self):
+        kernel, proc, base, softtrr = build()
+        kernel.clock.advance(NS_PER_MS)
+        kernel.dispatch_timers()
+        vaddr = find_adjacent_user_vaddr(kernel, proc, base, softtrr)
+        kernel.user_read(proc, vaddr, 1)
+        captured = softtrr.tracer.captured_faults
+        for _ in range(50):  # same interval: no more faults
+            kernel.user_read(proc, vaddr, 1)
+        assert softtrr.tracer.captured_faults == captured
+
+    def test_rearm_after_next_tick(self):
+        kernel, proc, base, softtrr = build()
+        kernel.clock.advance(NS_PER_MS)
+        kernel.dispatch_timers()
+        vaddr = find_adjacent_user_vaddr(kernel, proc, base, softtrr)
+        kernel.user_read(proc, vaddr, 1)
+        captured = softtrr.tracer.captured_faults
+        kernel.clock.advance(NS_PER_MS)
+        kernel.user_read(proc, vaddr, 1)  # dispatches the timer, re-arms
+        kernel.user_read(proc, vaddr, 1)
+        assert softtrr.tracer.captured_faults == captured + 1
+
+    def test_leak_counts_reach_refresh(self):
+        kernel, proc, base, softtrr = build()
+        vaddr = None
+        for _ in range(4):  # a few intervals of repeated adjacent access
+            kernel.clock.advance(NS_PER_MS)
+            kernel.dispatch_timers()
+            if vaddr is None:
+                vaddr = find_adjacent_user_vaddr(kernel, proc, base, softtrr)
+            kernel.user_read(proc, vaddr, 1)
+        assert softtrr.refresher.leak_bumps >= 2
+        assert softtrr.refresher.refreshes >= 1
+
+    def test_refresh_heals_dram_row(self):
+        kernel, proc, base, softtrr = build()
+        kernel.clock.advance(NS_PER_MS)
+        kernel.dispatch_timers()
+        vaddr = find_adjacent_user_vaddr(kernel, proc, base, softtrr)
+        ppn = kernel.mapped_ppn_of(proc, vaddr)
+        bank, row = kernel.dram.mapping.row_of(ppn << 12)
+        # Hammer-ish: deposit disturbance into the neighbouring PT row.
+        pt_rows = list(softtrr.structs.pt_rows_near(row, bank, 6))
+        if not pt_rows:
+            pytest.skip("layout placed no PT row near this page")
+        pt_row, _ = pt_rows[0]
+        kernel.dram.engine.deposit(bank, pt_row, 500.0, 0, 0)
+        softtrr.refresher.refresh(bank, pt_row)
+        assert kernel.dram.row_accumulated(bank, pt_row) == 0.0
+
+    def test_non_adjacent_access_untouched(self):
+        kernel, proc, base, softtrr = build()
+        kernel.clock.advance(NS_PER_MS)
+        kernel.dispatch_timers()
+        # A brand-new far mapping in a region with a fresh L1PT whose
+        # rows may or may not be adjacent; pick a page that is NOT
+        # adjacent and confirm no fault tracing happens on access.
+        non_adj = None
+        for i in range(PAGES):
+            ppn = kernel.mapped_ppn_of(proc, base + i * PAGE)
+            if ppn is not None and not softtrr.collector.is_adjacent(ppn):
+                non_adj = base + i * PAGE
+                break
+        if non_adj is None:
+            pytest.skip("every page adjacent in this layout")
+        captured = softtrr.tracer.captured_faults
+        kernel.user_read(proc, non_adj, 1)
+        assert softtrr.tracer.captured_faults == captured
+
+
+class TestDynamicAdjacency:
+    def test_new_page_near_pt_becomes_traced(self):
+        kernel, proc, base, softtrr = build()
+        before = softtrr.collector.adjacent_count()
+        # Touch fresh pages: some will land near existing PT rows.
+        extra = kernel.mmap(proc, 32 * PAGE)
+        for i in range(32):
+            kernel.user_write(proc, extra + i * PAGE, b"y")
+        assert softtrr.collector.adjacent_count() >= before
+
+    def test_freed_adjacent_page_removed(self):
+        kernel, proc, base, softtrr = build()
+        vaddr = find_adjacent_user_vaddr(kernel, proc, base, softtrr)
+        ppn = kernel.mapped_ppn_of(proc, vaddr)
+        kernel.munmap(proc, vaddr, PAGE)
+        assert not softtrr.collector.is_adjacent(ppn)
+
+
+class TestUnload:
+    def test_unload_disarms_everything(self):
+        kernel, proc, base, softtrr = build()
+        kernel.clock.advance(NS_PER_MS)
+        kernel.dispatch_timers()
+        vaddr = find_adjacent_user_vaddr(kernel, proc, base, softtrr)
+        kernel.unload_module("softtrr")
+        # No rsvd bits remain: plain access, no faults, no panic.
+        faults_before = kernel.faults_handled
+        kernel.user_read(proc, vaddr, 1)
+        assert kernel.faults_handled == faults_before
+        # And the timer is gone.
+        ticks = softtrr.tracer.ticks
+        kernel.clock.advance(5 * NS_PER_MS)
+        kernel.dispatch_timers()
+        assert softtrr.tracer.ticks == ticks
+
+    def test_stats_snapshot(self):
+        kernel, proc, base, softtrr = build()
+        stats = softtrr.stats()
+        assert stats.protected_pages == softtrr.collector.protected_count()
+        assert stats.ringbuf_bytes == pytest.approx(396 * 1024, abs=64)
+        assert stats.memory_bytes == stats.tree_bytes + stats.ringbuf_bytes
+
+
+class TestPresentBitTracer:
+    def test_present_tracer_traces(self):
+        params = SoftTrrParams(trace_bit="present")
+        kernel, proc, base, softtrr = build(params)
+        kernel.clock.advance(NS_PER_MS)
+        kernel.dispatch_timers()
+        vaddr = find_adjacent_user_vaddr(kernel, proc, base, softtrr)
+        kernel.user_read(proc, vaddr, 1)  # works for plain accesses
+        assert softtrr.tracer.captured_faults >= 0
+
+    def test_present_tracer_panics_on_fork(self):
+        """Section IV-C's motivating crash: fork + cleared present bit."""
+        params = SoftTrrParams(trace_bit="present")
+        kernel, proc, base, softtrr = build(params)
+        kernel.clock.advance(NS_PER_MS)
+        kernel.dispatch_timers()
+        assert softtrr.tracer.armed_total > 0
+        with pytest.raises(KernelPanic):
+            kernel.fork(proc)
+
+    def test_rsvd_tracer_survives_fork(self):
+        """The paper's fix: reserved-bit tracing is fork-safe."""
+        kernel, proc, base, softtrr = build()
+        kernel.clock.advance(NS_PER_MS)
+        kernel.dispatch_timers()
+        assert softtrr.tracer.armed_total > 0
+        child = kernel.fork(proc)  # must not panic
+        assert kernel.user_read(child, base, 1) == b"\x00"

@@ -1,0 +1,92 @@
+"""Tests for the DRAMA-style mapping reverse engineering."""
+
+import random
+
+import pytest
+
+from repro.clock import SimClock
+from repro.config import optiplex_990, perf_testbed, tiny_machine
+from repro.dram.drama import (
+    DramaProbe,
+    masks_equivalent,
+    recovered_equals,
+    reverse_engineer_mapping,
+)
+
+
+def build(spec):
+    clock = SimClock()
+    return spec.build_dram(clock)
+
+
+class TestMaskAlgebra:
+    def test_identical_masks_equivalent(self):
+        assert masks_equivalent([0b11, 0b101], [0b11, 0b101])
+
+    def test_basis_change_equivalent(self):
+        # {a, b} and {a, a^b} span the same space.
+        assert masks_equivalent([0b0011, 0b1100], [0b0011, 0b1111])
+
+    def test_different_spans_not_equivalent(self):
+        assert not masks_equivalent([0b11], [0b101])
+
+    def test_dimension_mismatch_not_equivalent(self):
+        assert not masks_equivalent([0b11, 0b101], [0b11])
+
+
+class TestProbe:
+    def test_conflict_detected_same_bank_diff_row(self):
+        module = build(tiny_machine())
+        probe = DramaProbe(module)
+        mapping = module.mapping
+        p1 = mapping.dram_to_phys(2, 5, 0)
+        p2 = mapping.dram_to_phys(2, 9, 0)
+        assert probe.conflicts(p1, p2)
+
+    def test_no_conflict_same_row(self):
+        module = build(tiny_machine())
+        probe = DramaProbe(module)
+        mapping = module.mapping
+        p1 = mapping.dram_to_phys(2, 5, 0)
+        p2 = mapping.dram_to_phys(2, 5, 256)
+        assert not probe.conflicts(p1, p2)
+
+    def test_no_conflict_different_banks(self):
+        module = build(tiny_machine())
+        probe = DramaProbe(module)
+        mapping = module.mapping
+        p1 = mapping.dram_to_phys(1, 5, 0)
+        p2 = mapping.dram_to_phys(2, 9, 0)
+        assert not probe.conflicts(p1, p2)
+
+    def test_sample_addresses_in_range_and_aligned(self):
+        module = build(tiny_machine())
+        probe = DramaProbe(module, rng=random.Random(1))
+        for addr in probe.sample_addresses(100):
+            assert 0 <= addr < module.geometry.capacity_bytes
+            assert addr % 64 == 0
+
+
+class TestReverseEngineering:
+    @pytest.mark.parametrize("spec_factory", [tiny_machine, optiplex_990])
+    def test_recovers_linear_mapping(self, spec_factory):
+        module = build(spec_factory())
+        recovered = reverse_engineer_mapping(
+            module, sample_count=192, rng=random.Random(7)
+        )
+        assert recovered_equals(recovered, module.mapping)
+
+    def test_recovers_interleaved_mapping(self):
+        module = build(perf_testbed())
+        recovered = reverse_engineer_mapping(
+            module, sample_count=256, rng=random.Random(11)
+        )
+        assert recovered_equals(recovered, module.mapping)
+
+    def test_measurement_count_reported(self):
+        module = build(tiny_machine())
+        recovered = reverse_engineer_mapping(
+            module, sample_count=128, rng=random.Random(3)
+        )
+        assert recovered.measurements > 0
+        assert recovered.samples_used == 128

@@ -1,0 +1,106 @@
+"""Tests for DRAM geometry arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.geometry import DramGeometry, LINE_BYTES, PAGE_BYTES
+from repro.errors import ConfigError
+
+
+def small_geo() -> DramGeometry:
+    return DramGeometry(num_banks=8, rows_per_bank=64, row_bytes=8192)
+
+
+class TestConstruction:
+    def test_valid(self):
+        geo = small_geo()
+        assert geo.capacity_bytes == 8 * 64 * 8192
+
+    @pytest.mark.parametrize("field,value", [
+        ("num_banks", 3),
+        ("rows_per_bank", 100),
+        ("row_bytes", 6000),
+        ("num_banks", 0),
+        ("rows_per_bank", -8),
+    ])
+    def test_non_pow2_rejected(self, field, value):
+        kwargs = dict(num_banks=8, rows_per_bank=64, row_bytes=8192)
+        kwargs[field] = value
+        with pytest.raises(ConfigError):
+            DramGeometry(**kwargs)
+
+    def test_tiny_row_rejected(self):
+        with pytest.raises(ConfigError):
+            DramGeometry(num_banks=8, rows_per_bank=64, row_bytes=256)
+
+
+class TestDerived:
+    def test_bit_widths(self):
+        geo = small_geo()
+        assert geo.bank_bits == 3
+        assert geo.row_bits == 6
+        assert geo.col_bits == 13
+        assert geo.addr_bits == 22
+        assert geo.capacity_bytes == 1 << 22
+
+    def test_pages_per_row(self):
+        assert small_geo().pages_per_row == 8192 // PAGE_BYTES
+
+    def test_lines_per_row(self):
+        assert small_geo().lines_per_row == 8192 // LINE_BYTES
+
+    def test_total_rows(self):
+        assert small_geo().total_rows == 8 * 64
+
+
+class TestChecks:
+    def test_check_bank(self):
+        geo = small_geo()
+        geo.check_bank(0)
+        geo.check_bank(7)
+        with pytest.raises(ConfigError):
+            geo.check_bank(8)
+        with pytest.raises(ConfigError):
+            geo.check_bank(-1)
+
+    def test_check_row(self):
+        geo = small_geo()
+        geo.check_row(63)
+        with pytest.raises(ConfigError):
+            geo.check_row(64)
+
+
+class TestNeighbors:
+    def test_interior_row(self):
+        geo = small_geo()
+        got = geo.neighbors(10, 2)
+        assert sorted(got) == [8, 9, 11, 12]
+
+    def test_clipped_at_start(self):
+        geo = small_geo()
+        got = geo.neighbors(0, 3)
+        assert sorted(got) == [1, 2, 3]
+
+    def test_clipped_at_end(self):
+        geo = small_geo()
+        got = geo.neighbors(63, 2)
+        assert sorted(got) == [61, 62]
+
+    def test_distance_one(self):
+        geo = small_geo()
+        assert sorted(geo.neighbors(5, 1)) == [4, 6]
+
+    @given(row=st.integers(min_value=0, max_value=63),
+           dist=st.integers(min_value=1, max_value=6))
+    def test_neighbors_property(self, row, dist):
+        geo = small_geo()
+        got = geo.neighbors(row, dist)
+        assert row not in got
+        assert len(got) == len(set(got))
+        for n in got:
+            assert 0 <= n < geo.rows_per_bank
+            assert 1 <= abs(n - row) <= dist
+        # Every in-range row at distance <= dist is included.
+        expected = [r for r in range(geo.rows_per_bank)
+                    if r != row and abs(r - row) <= dist]
+        assert sorted(got) == expected

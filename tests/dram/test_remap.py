@@ -1,0 +1,111 @@
+"""Tests for in-DRAM row remapping and its physics consequences."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clock import SimClock
+from repro.config import MachineSpec, CostModel
+from repro.dram.chiptrr import TrrParams
+from repro.dram.disturbance import DisturbanceParams
+from repro.dram.geometry import DramGeometry
+from repro.dram.remap import (
+    FoldedRemap,
+    IdentityRemap,
+    RowRemap,
+    build_remap,
+)
+from repro.dram.timing import DDR3_TIMINGS
+from repro.errors import ConfigError
+
+
+class TestRemapAlgebra:
+    def test_identity(self):
+        remap = IdentityRemap(64)
+        assert remap.to_physical(17) == 17
+        assert remap.to_logical(17) == 17
+        remap.check_bijection()
+
+    def test_folded_swaps_middle_pair(self):
+        remap = FoldedRemap(64)
+        assert remap.to_physical(0) == 0
+        assert remap.to_physical(1) == 2
+        assert remap.to_physical(2) == 1
+        assert remap.to_physical(3) == 3
+        assert remap.to_physical(5) == 6
+
+    def test_folded_is_self_inverse_bijection(self):
+        remap = FoldedRemap(256)
+        remap.check_bijection()
+        for row in range(256):
+            assert remap.to_logical(remap.to_physical(row)) == row
+
+    def test_build_remap(self):
+        assert isinstance(build_remap("identity", 8), IdentityRemap)
+        assert isinstance(build_remap("folded", 8), FoldedRemap)
+        with pytest.raises(ConfigError):
+            build_remap("spiral", 8)
+        with pytest.raises(ConfigError):
+            IdentityRemap(0)
+
+    def test_neighbors_identity(self):
+        remap = IdentityRemap(64)
+        assert remap.neighbors_at(10, 1) == [9, 11]
+        assert remap.neighbors_at(0, 1) == [1]  # clipped at the edge
+        assert sorted(remap.neighbors(10, 2)) == [8, 9, 11, 12]
+
+    def test_neighbors_folded(self):
+        remap = FoldedRemap(64)
+        # Logical 0 sits at physical 0; physical 1 holds logical 2.
+        assert remap.neighbors_at(0, 1) == [2]
+        # Logical 1 sits at physical 2: neighbours physical 1 and 3
+        # hold logical 2 and 3.
+        assert remap.neighbors_at(1, 1) == [2, 3]
+
+    @given(row=st.integers(0, 255), dist=st.integers(1, 6))
+    @settings(max_examples=60)
+    def test_neighbor_symmetry(self, row, dist):
+        """If B is a distance-d neighbour of A, A is one of B."""
+        remap = FoldedRemap(256)
+        for other in remap.neighbors_at(row, dist):
+            assert row in remap.neighbors_at(other, dist)
+
+
+def folded_machine(seed=77) -> MachineSpec:
+    return MachineSpec(
+        name="folded-machine", cpu_arch="t", cpu_model="t", dram_part="t",
+        ddr_generation=3,
+        geometry=DramGeometry(num_banks=8, rows_per_bank=64, row_bytes=8192),
+        timings=DDR3_TIMINGS,
+        disturbance=DisturbanceParams(
+            base_flip_threshold=2000.0, row_vuln_probability=0.0, seed=seed),
+        trr=TrrParams(enabled=False),
+        cost=CostModel(),
+        remap_kind="folded",
+    )
+
+
+class TestRemappedPhysics:
+    def test_disturbance_follows_physical_adjacency(self):
+        module = folded_machine().build_dram(SimClock())
+        # Hammer logical row 1 (physical 2): physical neighbours 1 and 3
+        # hold logical rows 2 and 3 — NOT logical rows 0 and 2.
+        paddr = module.mapping.dram_to_phys(0, 1, 0)
+        module.hammer(paddr, 100)
+        assert module.row_accumulated(0, 2) == pytest.approx(100.0)
+        assert module.row_accumulated(0, 3) == pytest.approx(100.0)
+        assert module.row_accumulated(0, 0) == pytest.approx(
+            100.0 * module.engine.params.weight(2))
+
+    def test_identity_machine_unchanged(self):
+        from repro.config import tiny_machine
+        module = tiny_machine().build_dram(SimClock())
+        paddr = module.mapping.dram_to_phys(0, 10, 0)
+        module.hammer(paddr, 100)
+        assert module.row_accumulated(0, 9) == pytest.approx(100.0)
+        assert module.row_accumulated(0, 11) == pytest.approx(100.0)
+
+    def test_machine_spec_validates_remap_kind(self):
+        with pytest.raises(ConfigError):
+            spec = folded_machine()
+            object.__setattr__(spec, "remap_kind", "nonsense")
+            spec.build_dram(SimClock())

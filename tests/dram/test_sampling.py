@@ -1,0 +1,63 @@
+"""Tests for the PMU-visible activation sampling instrumentation."""
+
+from repro.clock import SimClock
+from repro.config import tiny_machine
+from repro.mmu.mmu import Mmu
+
+
+def build():
+    spec = tiny_machine()
+    clock = SimClock()
+    dram = spec.build_dram(clock)
+    mmu = Mmu(clock, dram)
+    return clock, dram, mmu
+
+
+class TestActivationSamples:
+    def test_data_reads_tagged_data(self):
+        clock, dram, mmu = build()
+        dram.read(0x4000, 8)
+        assert dram.recent_activations
+        assert dram.recent_activations[-1][2] == "data"
+
+    def test_hammer_origin_propagates(self):
+        clock, dram, mmu = build()
+        dram.hammer(0x4000, 10, origin="walk")
+        assert dram.recent_activations[-1][2] == "walk"
+        dram.hammer(0x8000, 10)
+        assert dram.recent_activations[-1][2] == "data"
+
+    def test_walker_reads_tagged_walk(self):
+        clock, dram, mmu = build()
+        # Hand-build a one-entry chain and walk it.
+        from repro.mmu import bits
+        cr3 = 30
+        table = cr3
+        vaddr = 0x0000_7000_0000_0000
+        for level, child in ((4, 31), (3, 32), (2, 33)):
+            mmu.pt_ops.raw_write_entry(
+                table, bits.level_index(vaddr, level),
+                bits.make_pte(child, bits.PTE_PRESENT | bits.PTE_RW
+                              | bits.PTE_USER))
+            table = child
+        mmu.pt_ops.raw_write_entry(
+            table, bits.level_index(vaddr, 1),
+            bits.make_pte(5, bits.PTE_PRESENT | bits.PTE_RW | bits.PTE_USER))
+        dram.recent_activations.clear()
+        mmu.walker.walk(cr3, vaddr)
+        origins = {origin for _, _, origin in dram.recent_activations}
+        assert origins == {"walk"}
+
+    def test_total_activations_counter(self):
+        clock, dram, mmu = build()
+        before = dram.total_activations
+        dram.hammer(0x4000, 25)
+        assert dram.total_activations == before + 25
+        dram.read(0x4000, 8)  # row open: buffer hit, no activation
+        assert dram.total_activations == before + 25
+
+    def test_sample_buffer_bounded(self):
+        clock, dram, mmu = build()
+        for i in range(5000):
+            dram.hammer((i % 32) << 13, 1)
+        assert len(dram.recent_activations) <= 4096

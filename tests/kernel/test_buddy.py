@@ -1,0 +1,139 @@
+"""Tests for the buddy allocator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError, KernelError, OutOfMemoryError
+from repro.kernel.buddy import BuddyAllocator
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            BuddyAllocator(0, 0)
+
+    def test_seeds_full_capacity(self):
+        buddy = BuddyAllocator(0, 1024)
+        assert buddy.free_frames() == 1024
+
+    def test_non_pow2_capacity(self):
+        buddy = BuddyAllocator(0, 1000)
+        assert buddy.free_frames() == 1000
+
+    def test_offset_start(self):
+        buddy = BuddyAllocator(64, 256)
+        ppn = buddy.alloc_pages(0)
+        assert 64 <= ppn < 64 + 256
+
+
+class TestAllocFree:
+    def test_alloc_distinct(self):
+        buddy = BuddyAllocator(0, 64)
+        seen = {buddy.alloc_pages(0) for _ in range(64)}
+        assert len(seen) == 64
+        assert buddy.free_frames() == 0
+
+    def test_exhaustion(self):
+        buddy = BuddyAllocator(0, 4)
+        for _ in range(4):
+            buddy.alloc_pages(0)
+        with pytest.raises(OutOfMemoryError):
+            buddy.alloc_pages(0)
+
+    def test_order_alloc_alignment(self):
+        buddy = BuddyAllocator(0, 1024)
+        base = buddy.alloc_pages(4)
+        assert base % 16 == 0
+
+    def test_free_then_realloc(self):
+        buddy = BuddyAllocator(0, 16)
+        ppn = buddy.alloc_pages(0)
+        buddy.free_pages(ppn, 0)
+        assert buddy.free_frames() == 16
+
+    def test_double_free_rejected(self):
+        buddy = BuddyAllocator(0, 16)
+        ppn = buddy.alloc_pages(0)
+        buddy.free_pages(ppn, 0)
+        with pytest.raises(KernelError):
+            buddy.free_pages(ppn, 0)
+
+    def test_free_wrong_order_rejected(self):
+        buddy = BuddyAllocator(0, 16)
+        ppn = buddy.alloc_pages(1)
+        with pytest.raises(KernelError):
+            buddy.free_pages(ppn, 0)
+
+    def test_free_unallocated_rejected(self):
+        buddy = BuddyAllocator(0, 16)
+        with pytest.raises(KernelError):
+            buddy.free_pages(3, 0)
+
+    def test_coalescing_restores_large_blocks(self):
+        buddy = BuddyAllocator(0, 16)
+        ppns = [buddy.alloc_pages(0) for _ in range(16)]
+        assert buddy.largest_free_order() == -1
+        for ppn in ppns:
+            buddy.free_pages(ppn, 0)
+        assert buddy.largest_free_order() == 4  # one 16-frame block again
+
+    def test_huge_order_for_2mib_pages(self):
+        buddy = BuddyAllocator(0, 2048, max_order=10)
+        base = buddy.alloc_pages(9)  # 512 frames = one 2 MiB page
+        assert base % 512 == 0
+        buddy.free_pages(base, 9)
+        assert buddy.free_frames() == 2048
+
+    def test_contains(self):
+        buddy = BuddyAllocator(10, 20)
+        assert buddy.contains(10)
+        assert buddy.contains(29)
+        assert not buddy.contains(30)
+        assert not buddy.contains(9)
+
+
+class TestStats:
+    def test_counts(self):
+        buddy = BuddyAllocator(0, 64)
+        a = buddy.alloc_pages(2)
+        b = buddy.alloc_pages(0)
+        assert buddy.allocated_frames() == 5
+        assert buddy.free_frames() == 59
+        buddy.free_pages(a, 2)
+        assert buddy.allocated_frames() == 1
+        assert buddy.alloc_count == 2
+        assert buddy.free_count == 1
+
+    def test_is_allocated(self):
+        buddy = BuddyAllocator(0, 8)
+        ppn = buddy.alloc_pages(0)
+        assert buddy.is_allocated(ppn)
+        buddy.free_pages(ppn, 0)
+        assert not buddy.is_allocated(ppn)
+
+
+class TestProperty:
+    @given(ops=st.lists(st.tuples(st.booleans(), st.integers(0, 3)),
+                        min_size=1, max_size=60))
+    @settings(max_examples=50)
+    def test_frame_conservation(self, ops):
+        """Alloc/free sequences conserve total frames exactly."""
+        buddy = BuddyAllocator(0, 256)
+        live = []
+        for do_alloc, order in ops:
+            if do_alloc or not live:
+                try:
+                    base = buddy.alloc_pages(order)
+                except OutOfMemoryError:
+                    continue
+                live.append((base, order))
+            else:
+                base, o = live.pop()
+                buddy.free_pages(base, o)
+            assert buddy.free_frames() + buddy.allocated_frames() == 256
+        # Blocks never overlap.
+        claimed = set()
+        for base, order in live:
+            for ppn in range(base, base + (1 << order)):
+                assert ppn not in claimed
+                claimed.add(ppn)

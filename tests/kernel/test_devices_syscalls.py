@@ -1,0 +1,154 @@
+"""Tests for the SG device and the syscall table."""
+
+import pytest
+
+from repro.config import tiny_machine
+from repro.errors import KernelError
+from repro.kernel.devices import SgDevice
+from repro.kernel.kernel import Kernel
+from repro.kernel.physmem import FrameUse
+from repro.kernel.syscalls import SyscallTable
+from repro.kernel.vma import PAGE
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(tiny_machine())
+
+
+@pytest.fixture
+def proc(kernel):
+    return kernel.create_process("app")
+
+
+class TestSgDevice:
+    def test_alloc_maps_kernel_frames_user_accessible(self, kernel, proc):
+        sg = SgDevice(kernel)
+        base = sg.alloc_buffer(proc, 4 * PAGE)
+        # User can read/write it directly (no demand paging needed).
+        kernel.user_write(proc, base, b"dma data")
+        assert kernel.user_read(proc, base, 8) == b"dma data"
+        # But the frames are kernel SG memory.
+        for ppn in sg.buffer_frames(proc, base):
+            assert kernel.frame_table.use_of(ppn) is FrameUse.SG_BUFFER
+
+    def test_cap_enforced(self, kernel, proc):
+        sg = SgDevice(kernel, max_buffer_bytes=8 * PAGE)
+        with pytest.raises(KernelError):
+            sg.alloc_buffer(proc, 9 * PAGE)
+
+    def test_free_buffer(self, kernel, proc):
+        sg = SgDevice(kernel)
+        free_before = kernel.buddy.free_frames()
+        base = sg.alloc_buffer(proc, 2 * PAGE)
+        sg.free_buffer(proc, base)
+        # Everything except the (cached) upper-level page tables the
+        # mapping grew is back: the SG frames and the emptied L1PT.
+        upper_growth = len(proc.mm.upper_table_pages) - 1  # minus PML4
+        assert kernel.buddy.free_frames() == free_before - upper_growth
+        assert proc.mm.find_vma(base) is None
+
+    def test_remap_buffer_frame(self, kernel, proc):
+        sg = SgDevice(kernel)
+        base = sg.alloc_buffer(proc, 2 * PAGE)
+        kernel.user_write(proc, base, b"keepme")
+        new_ppn = kernel.alloc_frame(FrameUse.SG_BUFFER)
+        old = sg.remap_buffer_frame(proc, base, 0, new_ppn)
+        assert old != new_ppn
+        assert kernel.mapped_ppn_of(proc, base) == new_ppn
+        assert kernel.user_read(proc, base, 6) == b"keepme"  # content moved
+
+    def test_exit_does_not_free_device_frames(self, kernel):
+        p = kernel.create_process("victim")
+        sg = SgDevice(kernel)
+        base = sg.alloc_buffer(p, 2 * PAGE)
+        frames = sg.buffer_frames(p, base)
+        kernel.exit_process(p)
+        for ppn in frames:
+            assert kernel.frame_table.use_of(ppn) is FrameUse.SG_BUFFER
+
+
+class TestFileSyscalls:
+    def test_open_write_close(self, kernel, proc):
+        sys = SyscallTable(kernel)
+        fd = sys.open(proc, "log.txt")
+        assert sys.write(proc, fd, b"line") == 4
+        sys.close(proc, fd)
+        with pytest.raises(KernelError):
+            sys.close(proc, fd)
+
+    def test_ftruncate(self, kernel, proc):
+        sys = SyscallTable(kernel)
+        fd = sys.open(proc, "f")
+        sys.write(proc, fd, b"0123456789")
+        sys.ftruncate(proc, fd, 4)
+        assert bytes(sys._files["f"]) == b"0123"
+        sys.ftruncate(proc, fd, 8)
+        assert bytes(sys._files["f"]) == b"0123\x00\x00\x00\x00"
+
+    def test_rename(self, kernel, proc):
+        sys = SyscallTable(kernel)
+        fd = sys.open(proc, "old")
+        sys.write(proc, fd, b"data")
+        sys.rename(proc, "old", "new")
+        assert "old" not in sys._files
+        assert bytes(sys._files["new"]) == b"data"
+
+    def test_rename_missing(self, kernel, proc):
+        sys = SyscallTable(kernel)
+        with pytest.raises(KernelError):
+            sys.rename(proc, "ghost", "new")
+
+
+class TestNetworkSyscalls:
+    def test_socket_listen_send_recv(self, kernel, proc):
+        sys = SyscallTable(kernel)
+        fd = sys.socket(proc)
+        sys.listen(proc, fd)
+        sys.send(proc, fd, b"ping")
+        assert sys.recv(proc, fd, 16) == b"ping"
+        assert sys.recv(proc, fd, 16) == b""
+
+    def test_bad_fd(self, kernel, proc):
+        sys = SyscallTable(kernel)
+        with pytest.raises(KernelError):
+            sys.listen(proc, 99)
+
+
+class TestMemorySyscalls:
+    def test_mmap_munmap(self, kernel, proc):
+        sys = SyscallTable(kernel)
+        base = sys.mmap(proc, 4 * PAGE)
+        kernel.user_write(proc, base, b"x")
+        sys.munmap(proc, base, 4 * PAGE)
+        assert proc.mm.find_vma(base) is None
+
+    def test_mlock_munlock(self, kernel, proc):
+        sys = SyscallTable(kernel)
+        base = sys.mmap(proc, 2 * PAGE)
+        sys.mlock(proc, base, 2 * PAGE)
+        sys.munlock(proc, base, 2 * PAGE)
+        assert kernel.mapped_ppn_of(proc, base) is not None
+
+
+class TestProcessSyscalls:
+    def test_getpid(self, kernel, proc):
+        sys = SyscallTable(kernel)
+        assert sys.getpid(proc) == proc.pid
+
+    def test_clone_and_exit(self, kernel, proc):
+        sys = SyscallTable(kernel)
+        child = sys.clone(proc)
+        assert child.parent_pid == proc.pid
+        sys.exit(child, 0)
+        assert not child.alive
+
+    def test_misc(self, kernel, proc):
+        sys = SyscallTable(kernel)
+        fd = sys.open(proc, "dev")
+        assert sys.ioctl(proc, fd, 0x1234) == 0
+        assert sys.prctl(proc, "renamed-task") == 0
+        assert proc.name == "renamed-task"
+        assert sys.vhangup(proc) == 0
+        with pytest.raises(KernelError):
+            sys.ioctl(proc, 999, 0)

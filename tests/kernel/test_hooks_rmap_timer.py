@@ -1,0 +1,164 @@
+"""Tests for hooks, the reverse map and kernel timers."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.errors import HookError, KernelError
+from repro.kernel.hooks import (
+    HOOK_FREE_PAGES,
+    HOOK_PAGE_FAULT,
+    HOOK_PTE_ALLOC,
+    HookManager,
+)
+from repro.kernel.rmap import ReverseMap
+from repro.kernel.timer import KernelTimers
+
+
+class TestHookManager:
+    def test_unknown_point_rejected(self):
+        hooks = HookManager()
+        with pytest.raises(HookError):
+            hooks.register("not_a_hook", lambda: None)
+
+    def test_register_and_notify(self):
+        hooks = HookManager()
+        seen = []
+        hooks.register(HOOK_PTE_ALLOC, lambda *a: seen.append(a))
+        hooks.notify(HOOK_PTE_ALLOC, "proc", 42)
+        assert seen == [("proc", 42)]
+
+    def test_double_register_rejected(self):
+        hooks = HookManager()
+        cb = lambda *a: None
+        hooks.register(HOOK_PTE_ALLOC, cb)
+        with pytest.raises(HookError):
+            hooks.register(HOOK_PTE_ALLOC, cb)
+
+    def test_unregister(self):
+        hooks = HookManager()
+        seen = []
+        cb = lambda *a: seen.append(a)
+        hooks.register(HOOK_FREE_PAGES, cb)
+        hooks.unregister(HOOK_FREE_PAGES, cb)
+        hooks.notify(HOOK_FREE_PAGES, 1, 0, None)
+        assert seen == []
+
+    def test_unregister_missing_rejected(self):
+        hooks = HookManager()
+        with pytest.raises(HookError):
+            hooks.unregister(HOOK_FREE_PAGES, lambda: None)
+
+    def test_dispatch_first_claimer_wins(self):
+        hooks = HookManager()
+        hooks.register(HOOK_PAGE_FAULT, lambda *a: None)       # passes
+        hooks.register(HOOK_PAGE_FAULT, lambda *a: "handled")  # claims
+        hooks.register(HOOK_PAGE_FAULT, lambda *a: "late")     # never runs
+        assert hooks.dispatch(HOOK_PAGE_FAULT, "fault") == "handled"
+
+    def test_dispatch_none_when_unclaimed(self):
+        hooks = HookManager()
+        hooks.register(HOOK_PAGE_FAULT, lambda *a: None)
+        assert hooks.dispatch(HOOK_PAGE_FAULT, "fault") is None
+
+    def test_unregister_all(self):
+        hooks = HookManager()
+        cb1, cb2 = (lambda *a: None), (lambda *a: "x")
+        hooks.register(HOOK_PTE_ALLOC, cb1)
+        hooks.register(HOOK_PAGE_FAULT, cb2)
+        hooks.unregister_all({cb1, cb2})
+        assert hooks.hooked(HOOK_PTE_ALLOC) == 0
+        assert hooks.hooked(HOOK_PAGE_FAULT) == 0
+
+    def test_dispatch_count(self):
+        hooks = HookManager()
+        hooks.notify(HOOK_PTE_ALLOC)
+        hooks.notify(HOOK_PTE_ALLOC)
+        assert hooks.dispatch_count[HOOK_PTE_ALLOC] == 2
+
+
+class TestReverseMap:
+    def test_add_and_lookup(self):
+        rmap = ReverseMap()
+        rmap.add(7, pid=1, vaddr=0x1000)
+        rmap.add(7, pid=2, vaddr=0x2000)
+        assert rmap.mappings_of(7) == [(1, 0x1000), (2, 0x2000)]
+        assert rmap.is_mapped(7)
+
+    def test_remove(self):
+        rmap = ReverseMap()
+        rmap.add(7, 1, 0x1000)
+        rmap.remove(7, 1, 0x1000)
+        assert not rmap.is_mapped(7)
+        assert rmap.mappings_of(7) == []
+
+    def test_remove_untracked_raises(self):
+        rmap = ReverseMap()
+        with pytest.raises(KernelError):
+            rmap.remove(7, 1, 0x1000)
+
+    def test_remove_process(self):
+        rmap = ReverseMap()
+        rmap.add(7, 1, 0x1000)
+        rmap.add(7, 2, 0x1000)
+        rmap.add(9, 1, 0x3000)
+        rmap.remove_process(1)
+        assert rmap.mappings_of(7) == [(2, 0x1000)]
+        assert not rmap.is_mapped(9)
+
+    def test_mapped_page_count(self):
+        rmap = ReverseMap()
+        rmap.add(1, 1, 0x1000)
+        rmap.add(2, 1, 0x2000)
+        assert rmap.mapped_page_count() == 2
+
+
+class TestKernelTimers:
+    def test_periodic_fires_each_period(self):
+        clock = SimClock()
+        timers = KernelTimers(clock)
+        fired = []
+        timers.add_periodic(100, lambda: fired.append(clock.now_ns))
+        clock.advance(100)
+        timers.run_pending()
+        clock.advance(100)
+        timers.run_pending()
+        assert len(fired) == 2
+
+    def test_oneshot(self):
+        clock = SimClock()
+        timers = KernelTimers(clock)
+        fired = []
+        timers.add_oneshot(50, lambda: fired.append(1))
+        clock.advance(200)
+        timers.run_pending()
+        timers.run_pending()
+        assert fired == [1]
+
+    def test_cancel(self):
+        clock = SimClock()
+        timers = KernelTimers(clock)
+        fired = []
+        event = timers.add_periodic(100, lambda: fired.append(1))
+        timers.cancel(event)
+        clock.advance(500)
+        timers.run_pending()
+        assert fired == []
+
+    def test_cancel_all(self):
+        clock = SimClock()
+        timers = KernelTimers(clock)
+        fired = []
+        timers.add_periodic(100, lambda: fired.append(1))
+        timers.add_oneshot(100, lambda: fired.append(2))
+        timers.cancel_all()
+        clock.advance(500)
+        assert timers.run_pending() == 0
+
+    def test_run_pending_returns_count(self):
+        clock = SimClock()
+        timers = KernelTimers(clock)
+        timers.add_oneshot(10, lambda: None)
+        timers.add_oneshot(20, lambda: None)
+        clock.advance(30)
+        assert timers.run_pending() == 2
+        assert timers.fired == 2

@@ -1,0 +1,287 @@
+"""Integration tests for the Kernel facade."""
+
+import pytest
+
+from repro.config import tiny_machine
+from repro.errors import KernelError, KernelPanic, SegmentationFault
+from repro.kernel.hooks import (
+    HOOK_FREE_PAGES,
+    HOOK_PAGE_FAULT_POST,
+    HOOK_PTE_ALLOC,
+)
+from repro.kernel.kernel import Kernel
+from repro.kernel.physmem import FrameUse
+from repro.kernel.vma import HUGE, PAGE, VmaFlags
+from repro.mmu import bits
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(tiny_machine())
+
+
+@pytest.fixture
+def proc(kernel):
+    return kernel.create_process("test")
+
+
+class TestBoot:
+    def test_boot_reserves_kernel_frames(self, kernel):
+        assert kernel.buddy.start_ppn > 0
+        assert kernel.total_frames == kernel.spec.memory_bytes // PAGE
+
+    def test_direct_map_round_trip(self, kernel):
+        kv = kernel.kvaddr_of(0x5000)
+        assert kernel.paddr_of_kvaddr(kv) == 0x5000
+        kernel.kernel_write(kv, b"direct")
+        assert kernel.kernel_read(kv, 6) == b"direct"
+
+    def test_non_direct_kvaddr_rejected(self, kernel):
+        with pytest.raises(KernelError):
+            kernel.paddr_of_kvaddr(0x1000)
+
+
+class TestDemandPaging:
+    def test_write_allocates_on_fault(self, kernel, proc):
+        base = kernel.mmap(proc, 4 * PAGE)
+        kernel.user_write(proc, base, b"hello")
+        assert kernel.user_read(proc, base, 5) == b"hello"
+        assert kernel.demand_pages == 1
+
+    def test_each_page_faults_once(self, kernel, proc):
+        base = kernel.mmap(proc, 4 * PAGE)
+        for i in range(4):
+            kernel.user_write(proc, base + i * PAGE, b"x")
+        assert kernel.demand_pages == 4
+        kernel.user_read(proc, base, PAGE)
+        assert kernel.demand_pages == 4  # no refault
+
+    def test_untouched_pages_have_no_frames(self, kernel, proc):
+        base = kernel.mmap(proc, 4 * PAGE)
+        kernel.user_write(proc, base, b"x")
+        assert kernel.mapped_ppn_of(proc, base) is not None
+        assert kernel.mapped_ppn_of(proc, base + PAGE) is None
+
+    def test_unmapped_access_segfaults(self, kernel, proc):
+        with pytest.raises(SegmentationFault):
+            kernel.user_read(proc, 0x0000_6000_0000_0000, 8)
+        assert kernel.segfaults == 1
+
+    def test_write_to_readonly_segfaults(self, kernel, proc):
+        base = kernel.mmap(proc, PAGE, flags=VmaFlags.READ)
+        with pytest.raises(SegmentationFault):
+            kernel.user_write(proc, base, b"x")
+
+    def test_readonly_read_works(self, kernel, proc):
+        base = kernel.mmap(proc, PAGE, flags=VmaFlags.READ)
+        assert kernel.user_read(proc, base, 4) == b"\x00" * 4
+
+    def test_huge_page_demand(self, kernel, proc):
+        base = kernel.mmap(proc, HUGE, huge=True)
+        kernel.user_write(proc, base + 0x5000, b"huge")
+        walk = kernel.software_walk(proc.mm, base + 0x5000)
+        assert walk is not None
+        assert walk[1] == 2  # 2 MiB leaf
+        assert kernel.user_read(proc, base + 0x5000, 4) == b"huge"
+
+    def test_pte_alloc_hook_fires(self, kernel, proc):
+        births = []
+        kernel.hooks.register(HOOK_PTE_ALLOC,
+                              lambda p, ppn: births.append((p.pid, ppn)))
+        base = kernel.mmap(proc, PAGE)
+        kernel.user_write(proc, base, b"x")
+        assert len(births) == 1
+        assert births[0][0] == proc.pid
+
+    def test_fault_post_hook_fires(self, kernel, proc):
+        posts = []
+        kernel.hooks.register(HOOK_PAGE_FAULT_POST,
+                              lambda p, f, mapped: posts.append(mapped))
+        base = kernel.mmap(proc, PAGE)
+        kernel.user_write(proc, base, b"x")
+        assert len(posts) == 1
+        ppn, level = posts[0]
+        assert level == 1
+        assert kernel.mapped_ppn_of(proc, base) == ppn
+
+
+class TestMunmap:
+    def test_munmap_frees_frames_and_l1pt(self, kernel, proc):
+        frees = []
+        kernel.hooks.register(HOOK_FREE_PAGES,
+                              lambda ppn, order, use: frees.append((ppn, use)))
+        base = kernel.mmap(proc, 2 * PAGE)
+        kernel.user_write(proc, base, b"x")
+        kernel.user_write(proc, base + PAGE, b"y")
+        kernel.munmap(proc, base, 2 * PAGE)
+        uses = [use for _, use in frees]
+        assert uses.count(FrameUse.USER) == 2
+        assert uses.count(FrameUse.PAGE_TABLE) == 1  # the emptied L1PT
+
+    def test_partial_munmap_splits_vma(self, kernel, proc):
+        base = kernel.mmap(proc, 4 * PAGE)
+        kernel.user_write(proc, base, b"a")
+        kernel.user_write(proc, base + 3 * PAGE, b"b")
+        kernel.munmap(proc, base + PAGE, 2 * PAGE)
+        assert proc.mm.find_vma(base) is not None
+        assert proc.mm.find_vma(base + PAGE) is None
+        assert proc.mm.find_vma(base + 3 * PAGE) is not None
+        assert kernel.user_read(proc, base, 1) == b"a"
+
+    def test_munmap_unmapped_range_rejected(self, kernel, proc):
+        from repro.errors import BadAddressError
+        with pytest.raises(BadAddressError):
+            kernel.munmap(proc, 0x0000_6100_0000_0000, PAGE)
+
+    def test_rmap_updated(self, kernel, proc):
+        base = kernel.mmap(proc, PAGE)
+        kernel.user_write(proc, base, b"x")
+        ppn = kernel.mapped_ppn_of(proc, base)
+        assert kernel.rmap.mappings_of(ppn) == [(proc.pid, base)]
+        kernel.munmap(proc, base, PAGE)
+        assert not kernel.rmap.is_mapped(ppn)
+
+
+class TestBrkMremapMlock:
+    def test_brk_grows_and_shrinks(self, kernel, proc):
+        start = proc.mm.brk
+        kernel.brk(proc, start + 4 * PAGE)
+        kernel.user_write(proc, start, b"heap")
+        assert kernel.user_read(proc, start, 4) == b"heap"
+        kernel.brk(proc, start)
+        assert proc.mm.find_vma(start) is None
+
+    def test_mlock_prefaults(self, kernel, proc):
+        base = kernel.mmap(proc, 3 * PAGE)
+        kernel.mlock(proc, base, 3 * PAGE)
+        for i in range(3):
+            assert kernel.mapped_ppn_of(proc, base + i * PAGE) is not None
+
+    def test_mremap_moves_content(self, kernel, proc):
+        base = kernel.mmap(proc, 2 * PAGE)
+        kernel.user_write(proc, base, b"moveme")
+        new_base = kernel.mremap(proc, base, 2 * PAGE, 4 * PAGE)
+        assert new_base != base
+        assert kernel.user_read(proc, new_base, 6) == b"moveme"
+        assert proc.mm.find_vma(base) is None
+
+
+class TestFork:
+    def test_fork_copies_memory(self, kernel, proc):
+        base = kernel.mmap(proc, 2 * PAGE)
+        kernel.user_write(proc, base, b"parent data")
+        child = kernel.fork(proc)
+        assert kernel.user_read(child, base, 11) == b"parent data"
+        # Copies are independent.
+        kernel.user_write(child, base, b"child  data")
+        assert kernel.user_read(proc, base, 11) == b"parent data"
+
+    def test_fork_copies_vmas_lazily(self, kernel, proc):
+        base = kernel.mmap(proc, 4 * PAGE)
+        kernel.user_write(proc, base, b"x")
+        child = kernel.fork(proc)
+        # Untouched parent pages stay unmapped in the child too.
+        assert kernel.mapped_ppn_of(child, base + PAGE) is None
+
+    def test_fork_panics_on_nonpresent_nonzero_leaf(self, kernel, proc):
+        """The present-bit hazard of Section IV-C."""
+        base = kernel.mmap(proc, PAGE)
+        kernel.user_write(proc, base, b"x")
+        walk = kernel.software_walk(proc.mm, base)
+        entry = walk[3] & ~bits.PTE_PRESENT  # clear P, like a naive tracer
+        kernel.dram.raw_write(walk[2], entry.to_bytes(8, "little"))
+        kernel.mmu.cache.flush_range(walk[2], 8)
+        with pytest.raises(KernelPanic):
+            kernel.fork(proc)
+
+    def test_fork_strips_rsvd_bit(self, kernel, proc):
+        base = kernel.mmap(proc, PAGE)
+        kernel.user_write(proc, base, b"x")
+        walk = kernel.software_walk(proc.mm, base)
+        entry = walk[3] | bits.PTE_RSVD_TRACE
+        kernel.dram.raw_write(walk[2], entry.to_bytes(8, "little"))
+        kernel.mmu.cache.flush_range(walk[2], 8)
+        child = kernel.fork(proc)  # must NOT panic
+        cwalk = kernel.software_walk(child.mm, base)
+        assert not bits.has_reserved_bits(cwalk[3])
+
+
+class TestExit:
+    def test_exit_releases_everything(self, kernel, proc):
+        free_before = kernel.buddy.free_frames()
+        p = kernel.create_process("doomed")
+        base = kernel.mmap(p, 8 * PAGE)
+        for i in range(8):
+            kernel.user_write(p, base + i * PAGE, b"x")
+        kernel.exit_process(p, 0)
+        assert kernel.buddy.free_frames() == free_before
+        assert p.pid not in kernel.processes
+        assert not p.alive
+
+    def test_double_exit_rejected(self, kernel):
+        p = kernel.create_process("x")
+        kernel.exit_process(p)
+        with pytest.raises(KernelError):
+            kernel.exit_process(p)
+
+
+class TestContextSwitch:
+    def test_switch_flushes_tlb_and_charges(self, kernel):
+        p1 = kernel.create_process("a")
+        p2 = kernel.create_process("b")
+        base = kernel.mmap(p1, PAGE)
+        kernel.user_write(p1, base, b"x")
+        assert len(kernel.mmu.tlb) > 0
+        kernel.switch_to(p2)
+        assert len(kernel.mmu.tlb) == 0
+        assert kernel.accountant.total("context_switch") > 0
+
+    def test_user_access_autoswitches(self, kernel):
+        p1 = kernel.create_process("a")
+        p2 = kernel.create_process("b")
+        b1 = kernel.mmap(p1, PAGE)
+        b2 = kernel.mmap(p2, PAGE)
+        kernel.user_write(p1, b1, b"1")
+        kernel.user_write(p2, b2, b"2")
+        assert kernel.current is p2
+
+
+class TestModules:
+    class DummyModule:
+        def __init__(self):
+            self.loaded = False
+
+        def load(self, kernel):
+            self.loaded = True
+
+        def unload(self, kernel):
+            self.loaded = False
+
+    def test_load_unload(self, kernel):
+        mod = self.DummyModule()
+        kernel.load_module("dummy", mod)
+        assert mod.loaded
+        assert kernel.module("dummy") is mod
+        kernel.unload_module("dummy")
+        assert not mod.loaded
+        assert kernel.module("dummy") is None
+
+    def test_double_load_rejected(self, kernel):
+        mod = self.DummyModule()
+        kernel.load_module("dummy", mod)
+        with pytest.raises(KernelError):
+            kernel.load_module("dummy", self.DummyModule())
+
+    def test_unload_missing_rejected(self, kernel):
+        with pytest.raises(KernelError):
+            kernel.unload_module("ghost")
+
+
+class TestQueries:
+    def test_l1pt_frames_enumeration(self, kernel, proc):
+        assert kernel.l1pt_frames() == []
+        base = kernel.mmap(proc, PAGE)
+        kernel.user_write(proc, base, b"x")
+        frames = kernel.l1pt_frames()
+        assert len(frames) == 1
+        assert kernel.frame_table.use_of(frames[0]) is FrameUse.PAGE_TABLE

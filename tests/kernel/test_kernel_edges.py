@@ -1,0 +1,145 @@
+"""Edge-case tests for the kernel: exec permissions, huge-VMA rules,
+device sharing across fork, mremap resizing."""
+
+import pytest
+
+from repro.config import tiny_machine
+from repro.errors import KernelError, SegmentationFault
+from repro.kernel.devices import SgDevice
+from repro.kernel.kernel import Kernel
+from repro.kernel.vma import HUGE, PAGE, VmaFlags
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(tiny_machine())
+
+
+@pytest.fixture
+def proc(kernel):
+    return kernel.create_process("edge")
+
+
+class TestExecPermissions:
+    def test_fetch_from_nx_mapping_segfaults(self, kernel, proc):
+        base = kernel.mmap(proc, PAGE)  # rw, no EXEC => NX leaf
+        kernel.user_write(proc, base, b"\x90")
+        with pytest.raises(SegmentationFault):
+            kernel.user_fetch(proc, base)
+
+    def test_fetch_from_exec_mapping_works(self, kernel, proc):
+        base = kernel.mmap(
+            proc, PAGE,
+            flags=VmaFlags.READ | VmaFlags.WRITE | VmaFlags.EXEC,
+            name="text")
+        kernel.user_write(proc, base, b"\x90\x90")
+        assert kernel.user_fetch(proc, base, 2) == b"\x90\x90"
+
+
+class TestHugeVmaRules:
+    def test_partial_munmap_of_huge_vma_rejected(self, kernel, proc):
+        base = kernel.mmap(proc, 2 * HUGE, huge=True)
+        kernel.user_write(proc, base, b"x")
+        with pytest.raises(KernelError):
+            kernel.munmap(proc, base, HUGE)
+
+    def test_full_munmap_of_huge_vma(self, kernel, proc):
+        free_before = kernel.buddy.free_frames()
+        base = kernel.mmap(proc, HUGE, huge=True)
+        kernel.user_write(proc, base, b"x")
+        kernel.munmap(proc, base, HUGE)
+        # The order-9 block plus page-table pages come back except the
+        # upper tables retained by the mm.
+        upper = len(proc.mm.upper_table_pages) - 1
+        assert kernel.buddy.free_frames() == free_before - upper
+
+    def test_mremap_of_huge_vma_rejected(self, kernel, proc):
+        base = kernel.mmap(proc, HUGE, huge=True)
+        kernel.user_write(proc, base, b"x")
+        with pytest.raises(KernelError):
+            kernel.mremap(proc, base, HUGE, 2 * HUGE)
+
+    def test_fork_copies_huge_mappings(self):
+        # Needs two order-9 blocks: use a roomier machine than tiny.
+        from repro.config import perf_testbed
+        kernel = Kernel(perf_testbed())
+        proc = kernel.create_process("edge")
+        base = kernel.mmap(proc, HUGE, huge=True)
+        kernel.user_write(proc, base + 0x1234, b"huge-data")
+        child = kernel.fork(proc)
+        assert kernel.user_read(child, base + 0x1234, 9) == b"huge-data"
+        kernel.user_write(child, base + 0x1234, b"CHANGED!!")
+        assert kernel.user_read(proc, base + 0x1234, 9) == b"huge-data"
+
+
+class TestMremap:
+    def test_shrink_preserves_prefix(self, kernel, proc):
+        base = kernel.mmap(proc, 4 * PAGE)
+        for i in range(4):
+            kernel.user_write(proc, base + i * PAGE, bytes([i + 1]))
+        new_base = kernel.mremap(proc, base, 4 * PAGE, 2 * PAGE)
+        assert kernel.user_read(proc, new_base, 1) == b"\x01"
+        assert kernel.user_read(proc, new_base + PAGE, 1) == b"\x02"
+        vma = proc.mm.find_vma(new_base)
+        assert vma.length == 2 * PAGE
+
+    def test_grow_leaves_new_pages_demand_paged(self, kernel, proc):
+        base = kernel.mmap(proc, PAGE)
+        kernel.user_write(proc, base, b"a")
+        new_base = kernel.mremap(proc, base, PAGE, 3 * PAGE)
+        assert kernel.mapped_ppn_of(proc, new_base + PAGE) is None
+        kernel.user_write(proc, new_base + 2 * PAGE, b"c")
+        assert kernel.user_read(proc, new_base + 2 * PAGE, 1) == b"c"
+
+    def test_mremap_of_unmapped_base_rejected(self, kernel, proc):
+        from repro.errors import BadAddressError
+        with pytest.raises(BadAddressError):
+            kernel.mremap(proc, 0x0000_6BAD_0000_0000, PAGE, 2 * PAGE)
+
+
+class TestSgSharing:
+    def test_sg_buffer_shared_across_fork(self, kernel, proc):
+        sg = SgDevice(kernel)
+        base = sg.alloc_buffer(proc, 2 * PAGE)
+        kernel.user_write(proc, base, b"dma")
+        child = kernel.fork(proc)
+        # Device mappings are shared, not copied: same frame.
+        assert (kernel.mapped_ppn_of(child, base)
+                == kernel.mapped_ppn_of(proc, base))
+        kernel.user_write(child, base, b"DMA")
+        assert kernel.user_read(proc, base, 3) == b"DMA"
+
+    def test_partial_unmap_of_sg_buffer_keeps_rest(self, kernel, proc):
+        sg = SgDevice(kernel)
+        base = sg.alloc_buffer(proc, 3 * PAGE)
+        kernel.user_write(proc, base + 2 * PAGE, b"tail")
+        kernel.munmap(proc, base, PAGE)
+        assert proc.mm.find_vma(base) is None
+        assert kernel.user_read(proc, base + 2 * PAGE, 4) == b"tail"
+
+
+class TestMultiProcessIsolation:
+    def test_same_vaddr_different_frames(self, kernel):
+        a = kernel.create_process("a")
+        b = kernel.create_process("b")
+        va = 0x0000_7B00_0000_0000
+        kernel.mmap(a, PAGE, at=va)
+        kernel.mmap(b, PAGE, at=va)
+        kernel.user_write(a, va, b"A")
+        kernel.user_write(b, va, b"B")
+        assert kernel.user_read(a, va, 1) == b"A"
+        assert kernel.user_read(b, va, 1) == b"B"
+        assert (kernel.mapped_ppn_of(a, va)
+                != kernel.mapped_ppn_of(b, va))
+
+    def test_rmap_tracks_shared_frame_in_two_processes(self, kernel):
+        a = kernel.create_process("a")
+        b = kernel.create_process("b")
+        from repro.kernel.physmem import FrameUse
+        frame = kernel.alloc_frame(FrameUse.USER)
+        va = 0x0000_7B00_0000_0000
+        kernel.mmap(a, PAGE, at=va)
+        kernel.mmap(b, PAGE, at=va)
+        kernel.map_page(a, va, frame)
+        kernel.map_page(b, va, frame)
+        assert kernel.rmap.mappings_of(frame) == [(a.pid, va), (b.pid, va)]

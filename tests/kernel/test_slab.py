@@ -1,0 +1,107 @@
+"""Tests for the slab cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError, KernelError
+from repro.kernel.slab import SlabCache
+
+
+class TestBasics:
+    def test_size_validation(self):
+        with pytest.raises(ConfigError):
+            SlabCache("bad", 0)
+        with pytest.raises(ConfigError):
+            SlabCache("bad", 5000)
+
+    def test_alloc_returns_unique_handles(self):
+        cache = SlabCache("nodes", 64)
+        handles = {cache.alloc() for _ in range(100)}
+        assert len(handles) == 100
+
+    def test_objs_per_page(self):
+        cache = SlabCache("nodes", 64)
+        assert cache.objs_per_page == 64
+
+    def test_free_dead_handle_rejected(self):
+        cache = SlabCache("nodes", 64)
+        h = cache.alloc()
+        cache.free(h)
+        with pytest.raises(KernelError):
+            cache.free(h)
+
+
+class TestFootprint:
+    def test_one_page_until_full(self):
+        cache = SlabCache("nodes", 64)
+        for _ in range(64):
+            cache.alloc()
+        assert cache.pages_held() == 1
+        cache.alloc()
+        assert cache.pages_held() == 2
+
+    def test_bytes_accounting(self):
+        cache = SlabCache("nodes", 48)
+        for _ in range(10):
+            cache.alloc()
+        assert cache.bytes_live() == 480
+        assert cache.bytes_held() == 4096
+
+    def test_slot_reuse_before_new_page(self):
+        cache = SlabCache("nodes", 64)
+        handles = [cache.alloc() for _ in range(64)]
+        cache.free(handles[0])
+        cache.alloc()
+        assert cache.pages_held() == 1
+
+    def test_empty_pages_returned(self):
+        cache = SlabCache("nodes", 2048)  # 2 objs/page
+        handles = [cache.alloc() for _ in range(6)]  # 3 pages
+        assert cache.pages_held() == 3
+        for h in handles:
+            cache.free(h)
+        assert cache.pages_held() == 1  # keeps one warm page
+
+    def test_backed_by_page_provider(self):
+        taken, freed = [], []
+
+        def page_alloc():
+            ppn = 100 + len(taken)
+            taken.append(ppn)
+            return ppn
+
+        cache = SlabCache("nodes", 2048, page_alloc=page_alloc,
+                          page_free=freed.append)
+        handles = [cache.alloc() for _ in range(4)]
+        assert len(taken) == 2
+        for h in handles:
+            cache.free(h)
+        assert len(freed) == 1  # one page kept warm
+
+
+class TestCounters:
+    def test_live_tracking(self):
+        cache = SlabCache("nodes", 64)
+        a, b = cache.alloc(), cache.alloc()
+        assert cache.live_objects == 2
+        cache.free(a)
+        assert cache.live_objects == 1
+        assert cache.total_allocs == 2
+        assert cache.total_frees == 1
+
+
+class TestProperty:
+    @given(ops=st.lists(st.booleans(), min_size=1, max_size=200))
+    @settings(max_examples=40)
+    def test_live_object_invariant(self, ops):
+        cache = SlabCache("nodes", 128)
+        live = []
+        for do_alloc in ops:
+            if do_alloc or not live:
+                live.append(cache.alloc())
+            else:
+                cache.free(live.pop())
+            assert cache.live_objects == len(live)
+            # Pages held can never be less than needed for live objects.
+            needed = -(-len(live) // cache.objs_per_page) if live else 0
+            assert cache.pages_held() >= needed

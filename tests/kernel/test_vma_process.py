@@ -1,0 +1,92 @@
+"""Tests for VMAs and the process structures."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.process import MmStruct, Process
+from repro.kernel.vma import HUGE, PAGE, Vma, VmaFlags
+
+
+class TestVma:
+    def test_alignment_enforced(self):
+        with pytest.raises(KernelError):
+            Vma(0x1001, 0x2000)
+        with pytest.raises(KernelError):
+            Vma(0x1000, 0x2100)
+
+    def test_empty_rejected(self):
+        with pytest.raises(KernelError):
+            Vma(0x2000, 0x2000)
+
+    def test_huge_alignment(self):
+        with pytest.raises(KernelError):
+            Vma(0x1000, 0x1000 + HUGE, VmaFlags.rw() | VmaFlags.HUGEPAGE)
+        vma = Vma(HUGE, 2 * HUGE, VmaFlags.rw() | VmaFlags.HUGEPAGE)
+        assert vma.is_huge()
+
+    def test_contains_and_overlap(self):
+        vma = Vma(0x1000, 0x3000)
+        assert vma.contains(0x1000)
+        assert vma.contains(0x2FFF)
+        assert not vma.contains(0x3000)
+        assert vma.overlaps(0x2000, 0x4000)
+        assert not vma.overlaps(0x3000, 0x4000)
+
+    def test_pages_iteration(self):
+        vma = Vma(0x1000, 0x4000)
+        assert list(vma.pages()) == [0x1000, 0x2000, 0x3000]
+        assert vma.page_count == 3
+        assert vma.length == 0x3000
+
+    def test_writability(self):
+        assert Vma(0x1000, 0x2000, VmaFlags.rw()).is_writable()
+        assert not Vma(0x1000, 0x2000, VmaFlags.READ).is_writable()
+
+
+class TestMmStruct:
+    def test_vma_lookup(self):
+        mm = MmStruct(pml4_ppn=1)
+        vma = Vma(0x1000, 0x3000)
+        mm.add_vma(vma)
+        assert mm.find_vma(0x2000) is vma
+        assert mm.find_vma(0x4000) is None
+
+    def test_overlap_rejected(self):
+        mm = MmStruct(pml4_ppn=1)
+        mm.add_vma(Vma(0x1000, 0x3000))
+        with pytest.raises(KernelError):
+            mm.add_vma(Vma(0x2000, 0x4000))
+
+    def test_vmas_sorted(self):
+        mm = MmStruct(pml4_ppn=1)
+        mm.add_vma(Vma(0x5000, 0x6000))
+        mm.add_vma(Vma(0x1000, 0x2000))
+        assert [v.start for v in mm.vmas] == [0x1000, 0x5000]
+
+    def test_remove_unknown_vma(self):
+        mm = MmStruct(pml4_ppn=1)
+        with pytest.raises(KernelError):
+            mm.remove_vma(Vma(0x1000, 0x2000))
+
+    def test_total_mapped(self):
+        mm = MmStruct(pml4_ppn=1)
+        mm.add_vma(Vma(0x1000, 0x3000))
+        mm.add_vma(Vma(0x5000, 0x6000))
+        assert mm.total_mapped_bytes() == 0x3000
+
+
+class TestProcess:
+    def test_identity(self):
+        p1 = Process(pid=1, name="a", mm=MmStruct(1))
+        p2 = Process(pid=1, name="b", mm=MmStruct(2))
+        p3 = Process(pid=2, name="a", mm=MmStruct(3))
+        assert p1 == p2
+        assert p1 != p3
+        assert hash(p1) == hash(p2)
+
+    def test_repr_shows_state(self):
+        p = Process(pid=3, name="x", mm=MmStruct(1))
+        assert "alive" in repr(p)
+        p.alive = False
+        p.exit_code = 0
+        assert "exited" in repr(p)

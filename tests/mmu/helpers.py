@@ -1,0 +1,72 @@
+"""Shared helpers for MMU tests: hand-built page tables over raw DRAM."""
+
+from repro.clock import SimClock
+from repro.config import tiny_machine
+from repro.mmu import bits
+from repro.mmu.mmu import Mmu
+
+
+class MmuBed:
+    """A tiny machine with a manual frame bump-allocator for tables."""
+
+    def __init__(self, **mmu_kwargs):
+        self.spec = tiny_machine()
+        self.clock = SimClock()
+        self.dram = self.spec.build_dram(self.clock)
+        self.mmu = Mmu(self.clock, self.dram, **mmu_kwargs)
+        self._next_ppn = 16  # leave low frames free for data pages
+        self.cr3 = self.alloc_table()
+
+    def alloc_table(self) -> int:
+        """Grab a fresh zeroed frame for a page table."""
+        ppn = self._next_ppn
+        self._next_ppn += 1
+        return ppn
+
+    def map_page(self, vaddr: int, ppn: int, flags: int = None) -> int:
+        """Install a 4 KiB mapping; returns the leaf PTE's physical addr.
+
+        Intermediate tables are created on demand with full user/rw
+        permissions (as Linux does, enforcing policy at the leaf).
+        """
+        if flags is None:
+            flags = bits.PTE_PRESENT | bits.PTE_RW | bits.PTE_USER
+        table = self.cr3
+        upper = bits.PTE_PRESENT | bits.PTE_RW | bits.PTE_USER
+        for level in (4, 3, 2):
+            index = bits.level_index(vaddr, level)
+            entry = self.mmu.pt_ops.raw_read_entry(table, index)
+            if not bits.is_present(entry):
+                child = self.alloc_table()
+                self.mmu.pt_ops.raw_write_entry(
+                    table, index, bits.make_pte(child, upper))
+                table = child
+            else:
+                table = bits.pte_ppn(entry)
+        index = bits.level_index(vaddr, 1)
+        self.mmu.pt_ops.raw_write_entry(table, index, bits.make_pte(ppn, flags))
+        return self.mmu.pt_ops.entry_paddr(table, index)
+
+    def map_huge(self, vaddr: int, base_ppn: int, flags: int = None) -> int:
+        """Install a 2 MiB mapping at the PD level."""
+        if flags is None:
+            flags = (bits.PTE_PRESENT | bits.PTE_RW | bits.PTE_USER
+                     | bits.PTE_PSE)
+        else:
+            flags |= bits.PTE_PSE
+        table = self.cr3
+        upper = bits.PTE_PRESENT | bits.PTE_RW | bits.PTE_USER
+        for level in (4, 3):
+            index = bits.level_index(vaddr, level)
+            entry = self.mmu.pt_ops.raw_read_entry(table, index)
+            if not bits.is_present(entry):
+                child = self.alloc_table()
+                self.mmu.pt_ops.raw_write_entry(
+                    table, index, bits.make_pte(child, upper))
+                table = child
+            else:
+                table = bits.pte_ppn(entry)
+        index = bits.level_index(vaddr, 2)
+        self.mmu.pt_ops.raw_write_entry(
+            table, index, bits.make_pte(base_ppn, flags))
+        return self.mmu.pt_ops.entry_paddr(table, index)

@@ -1,0 +1,94 @@
+"""Tests for PTE bit arithmetic."""
+
+from hypothesis import given, strategies as st
+
+from repro.mmu import bits
+
+
+class TestEncoding:
+    def test_make_and_extract(self):
+        entry = bits.make_pte(0x1234, bits.PTE_PRESENT | bits.PTE_RW)
+        assert bits.pte_ppn(entry) == 0x1234
+        assert bits.is_present(entry)
+        assert entry & bits.PTE_RW
+
+    def test_flags_do_not_leak_into_ppn(self):
+        entry = bits.make_pte(0x1, bits.PTE_NX | bits.PTE_PRESENT)
+        assert bits.pte_ppn(entry) == 0x1
+
+    def test_rsvd_bit_is_bit_51(self):
+        assert bits.PTE_RSVD_TRACE == 1 << 51
+
+    def test_rsvd_bit_outside_addr_mask(self):
+        # Setting bit 51 must not corrupt the PPN field.
+        entry = bits.make_pte(0x5678, bits.PTE_PRESENT) | bits.PTE_RSVD_TRACE
+        assert bits.pte_ppn(entry) == 0x5678
+        assert bits.has_reserved_bits(entry)
+
+    def test_clean_entry_has_no_reserved_bits(self):
+        entry = bits.make_pte(0x99, bits.PTE_PRESENT | bits.PTE_RW
+                              | bits.PTE_USER | bits.PTE_NX)
+        assert not bits.has_reserved_bits(entry)
+
+    def test_pte_flags(self):
+        entry = bits.make_pte(0x7, bits.PTE_PRESENT | bits.PTE_DIRTY)
+        assert bits.pte_flags(entry) == bits.PTE_PRESENT | bits.PTE_DIRTY
+
+    def test_huge_detection(self):
+        assert bits.is_huge(bits.make_pte(0, bits.PTE_PSE))
+        assert not bits.is_huge(bits.make_pte(0, bits.PTE_PRESENT))
+
+    @given(ppn=st.integers(min_value=0, max_value=(1 << 34) - 1),
+           flags=st.sampled_from([0, bits.PTE_PRESENT,
+                                  bits.PTE_PRESENT | bits.PTE_RW,
+                                  bits.PTE_PRESENT | bits.PTE_USER | bits.PTE_NX]))
+    def test_roundtrip_property(self, ppn, flags):
+        entry = bits.make_pte(ppn, flags)
+        assert bits.pte_ppn(entry) == ppn
+        assert bits.pte_flags(entry) == flags
+
+
+class TestVaddrSplit:
+    def test_split_zero(self):
+        assert bits.split_vaddr(0) == (0, 0, 0, 0, 0)
+
+    def test_split_known(self):
+        vaddr = (3 << 39) | (5 << 30) | (7 << 21) | (9 << 12) | 0xAB
+        assert bits.split_vaddr(vaddr) == (3, 5, 7, 9, 0xAB)
+
+    def test_level_index_consistency(self):
+        vaddr = 0x7F12_3456_7ABC
+        p4, p3, p2, p1, off = bits.split_vaddr(vaddr)
+        assert bits.level_index(vaddr, 4) == p4
+        assert bits.level_index(vaddr, 3) == p3
+        assert bits.level_index(vaddr, 2) == p2
+        assert bits.level_index(vaddr, 1) == p1
+
+    @given(vaddr=st.integers(min_value=0, max_value=(1 << 47) - 1))
+    def test_split_reassembles(self, vaddr):
+        p4, p3, p2, p1, off = bits.split_vaddr(vaddr)
+        rebuilt = (p4 << 39) | (p3 << 30) | (p2 << 21) | (p1 << 12) | off
+        assert rebuilt == vaddr
+
+    def test_page_and_huge_base(self):
+        vaddr = 0x1234_5678
+        assert bits.page_base(vaddr) == 0x1234_5000
+        assert bits.huge_base(vaddr) == 0x1220_0000
+
+    def test_vpn(self):
+        assert bits.vpn_of(0x5000) == 5
+
+    def test_canonical(self):
+        assert bits.is_canonical(0x0000_7FFF_FFFF_FFFF)
+        assert bits.is_canonical(0xFFFF_8000_0000_0000)
+        assert not bits.is_canonical(0x0000_8000_0000_0000)
+
+
+class TestDescribe:
+    def test_empty(self):
+        assert bits.describe(0) == "<empty>"
+
+    def test_flag_names(self):
+        text = bits.describe(bits.make_pte(0x5, bits.PTE_PRESENT)
+                             | bits.PTE_RSVD_TRACE)
+        assert "P" in text and "RSVD51" in text

@@ -1,0 +1,70 @@
+"""Tests for page-fault error-code construction (Figure 2)."""
+
+from repro.mmu.faults import ErrorCode, PageFaultInfo, access_error_code
+
+
+class TestErrorCode:
+    def test_non_present_read(self):
+        code = access_error_code(is_write=False, is_user=True,
+                                 is_fetch=False, present=False)
+        assert code == ErrorCode.USER
+        assert not code & ErrorCode.PRESENT
+
+    def test_non_present_write(self):
+        code = access_error_code(is_write=True, is_user=True,
+                                 is_fetch=False, present=False)
+        assert code & ErrorCode.WRITE
+        assert not code & ErrorCode.PRESENT
+
+    def test_rsvd_implies_present(self):
+        # A reserved-bit fault is only raised for present entries, so
+        # hardware always sets P together with RSVD.
+        code = access_error_code(is_write=False, is_user=True,
+                                 is_fetch=False, present=False, rsvd=True)
+        assert code & ErrorCode.RSVD
+        assert code & ErrorCode.PRESENT
+
+    def test_instruction_fetch(self):
+        code = access_error_code(is_write=False, is_user=True,
+                                 is_fetch=True, present=True)
+        assert code & ErrorCode.INSTR
+
+    def test_kernel_access_has_no_user_bit(self):
+        code = access_error_code(is_write=False, is_user=False,
+                                 is_fetch=False, present=True)
+        assert not code & ErrorCode.USER
+
+
+class TestPageFaultInfo:
+    def test_non_present_predicate(self):
+        info = PageFaultInfo(vaddr=0x1000, error_code=ErrorCode.USER)
+        assert info.is_non_present
+        assert not info.is_reserved_bit
+
+    def test_rsvd_predicate(self):
+        info = PageFaultInfo(
+            vaddr=0x1000,
+            error_code=ErrorCode.PRESENT | ErrorCode.RSVD | ErrorCode.USER,
+        )
+        assert info.is_reserved_bit
+        assert not info.is_non_present
+        assert info.is_user
+
+    def test_write_predicate(self):
+        info = PageFaultInfo(vaddr=0, error_code=ErrorCode.WRITE)
+        assert info.is_write
+
+    def test_fetch_predicate(self):
+        info = PageFaultInfo(vaddr=0, error_code=ErrorCode.INSTR)
+        assert info.is_instruction_fetch
+
+    def test_defaults(self):
+        info = PageFaultInfo(vaddr=0x42, error_code=ErrorCode(0))
+        assert info.leaf_level == 1
+        assert info.pte_paddr is None
+        assert info.pid is None
+
+    def test_str_renders(self):
+        info = PageFaultInfo(vaddr=0x42, error_code=ErrorCode.RSVD,
+                             pte_paddr=0x1000)
+        assert "0x42" in str(info)

@@ -1,0 +1,128 @@
+"""Tests for the Mmu facade (TLB integration, data path, maintenance)."""
+
+import pytest
+
+from repro.errors import PageFaultException
+from repro.mmu import bits
+
+from .helpers import MmuBed
+
+VADDR = 0x0000_7F00_1234_5000
+
+
+class TestTranslate:
+    def test_miss_walks_and_fills_tlb(self):
+        bed = MmuBed()
+        bed.map_page(VADDR, ppn=3)
+        t = bed.mmu.translate(bed.cr3, VADDR)
+        assert t.ppn == 3
+        assert bed.mmu.tlb.lookup(VADDR) is not None
+
+    def test_hit_skips_walk(self):
+        bed = MmuBed()
+        bed.map_page(VADDR, ppn=3)
+        bed.mmu.translate(bed.cr3, VADDR)
+        walks = bed.mmu.walker.walks
+        bed.mmu.translate(bed.cr3, VADDR)
+        assert bed.mmu.walker.walks == walks
+
+    def test_rw_page_write_allowed_on_tlb_hit(self):
+        bed = MmuBed()
+        bed.map_page(VADDR, ppn=3)
+        bed.mmu.translate(bed.cr3, VADDR)  # fill TLB
+        t = bed.mmu.translate(bed.cr3, VADDR, is_write=True, is_user=True)
+        assert t.ppn == 3
+
+    def test_readonly_write_faults_even_on_tlb_hit(self):
+        bed = MmuBed()
+        va = 0x0000_7F00_2000_0000
+        bed.map_page(va, ppn=4, flags=bits.PTE_PRESENT | bits.PTE_USER)
+        bed.mmu.translate(bed.cr3, va)  # read fills TLB
+        with pytest.raises(PageFaultException) as exc:
+            bed.mmu.translate(bed.cr3, va, is_write=True)
+        assert exc.value.info.is_write
+
+    def test_rsvd_bit_not_cached_by_tlb(self):
+        """After arming bit 51 + invlpg, the next access must fault —
+        the whole point of the tracer's invlpg."""
+        bed = MmuBed()
+        leaf_paddr = bed.map_page(VADDR, ppn=3)
+        bed.mmu.translate(bed.cr3, VADDR)  # TLB now holds it
+        entry = int.from_bytes(bed.dram.raw_read(leaf_paddr, 8), "little")
+        bed.dram.raw_write(
+            leaf_paddr, (entry | bits.PTE_RSVD_TRACE).to_bytes(8, "little"))
+        bed.mmu.cache.flush_range(leaf_paddr, 8)
+        # Without invlpg the stale TLB entry still translates:
+        assert bed.mmu.translate(bed.cr3, VADDR).ppn == 3
+        bed.mmu.invlpg(VADDR)
+        with pytest.raises(PageFaultException) as exc:
+            bed.mmu.translate(bed.cr3, VADDR)
+        assert exc.value.info.is_reserved_bit
+
+    def test_huge_translation_via_tlb(self):
+        bed = MmuBed()
+        base = 0x0000_7F40_0000_0000
+        bed.map_huge(base, base_ppn=512)
+        first = bed.mmu.translate(bed.cr3, base + 0x3000)
+        assert first.ppn == 515
+        walks = bed.mmu.walker.walks
+        second = bed.mmu.translate(bed.cr3, base + 0x7000)
+        assert second.ppn == 519
+        assert bed.mmu.walker.walks == walks  # huge TLB entry covered it
+
+
+class TestDataPath:
+    def test_store_then_load(self):
+        bed = MmuBed()
+        bed.map_page(VADDR, ppn=3)
+        bed.mmu.store(bed.cr3, VADDR + 5, b"payload")
+        assert bed.mmu.load(bed.cr3, VADDR + 5, 7) == b"payload"
+
+    def test_data_lands_in_right_frame(self):
+        bed = MmuBed()
+        bed.map_page(VADDR, ppn=3)
+        bed.mmu.store(bed.cr3, VADDR, b"xy")
+        assert bed.dram.raw_read(3 << 12, 2) == b"xy"
+
+    def test_cross_page_access_splits(self):
+        bed = MmuBed()
+        bed.map_page(VADDR, ppn=3)
+        bed.map_page(VADDR + 0x1000, ppn=4)
+        payload = bytes(range(100))
+        bed.mmu.store(bed.cr3, VADDR + 0xFC0, payload)
+        assert bed.mmu.load(bed.cr3, VADDR + 0xFC0, 100) == payload
+        assert bed.dram.raw_read((3 << 12) + 0xFC0, 64) == payload[:64]
+        assert bed.dram.raw_read(4 << 12, 36) == payload[64:]
+
+    def test_load_of_unmapped_page_faults(self):
+        bed = MmuBed()
+        with pytest.raises(PageFaultException):
+            bed.mmu.load(bed.cr3, 0x123000, 8)
+
+
+class TestKernelPath:
+    def test_phys_round_trip(self):
+        bed = MmuBed()
+        bed.mmu.phys_store(0x8000, b"kernel data")
+        assert bed.mmu.phys_load(0x8000, 11) == b"kernel data"
+
+    def test_phys_access_costs_time(self):
+        bed = MmuBed()
+        t0 = bed.clock.now_ns
+        bed.mmu.phys_load(0x8000, 8)
+        assert bed.clock.now_ns > t0
+
+
+class TestMaintenance:
+    def test_invlpg_costs_time(self):
+        bed = MmuBed()
+        t0 = bed.clock.now_ns
+        bed.mmu.invlpg(0x1000)
+        assert bed.clock.now_ns - t0 == bed.mmu.invlpg_ns
+
+    def test_context_switch_flushes_tlb(self):
+        bed = MmuBed()
+        bed.map_page(VADDR, ppn=3)
+        bed.mmu.translate(bed.cr3, VADDR)
+        bed.mmu.on_context_switch()
+        assert len(bed.mmu.tlb) == 0

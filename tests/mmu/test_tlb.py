@@ -1,0 +1,102 @@
+"""Tests for the TLB model."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.errors import ConfigError
+from repro.mmu.tlb import Tlb, TlbEntry
+
+
+def entry(ppn=5, level=1):
+    return TlbEntry(ppn=ppn, flags=0b110, leaf_level=level, pte_paddr=0x1000)
+
+
+class TestBasics:
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigError):
+            Tlb(SimClock(), capacity_4k=0)
+
+    def test_miss_on_empty(self):
+        tlb = Tlb(SimClock())
+        assert tlb.lookup(0x4000) is None
+        assert tlb.misses == 1
+
+    def test_fill_then_hit(self):
+        tlb = Tlb(SimClock())
+        tlb.fill(0x4000, entry())
+        got = tlb.lookup(0x4abc)  # same page, different offset
+        assert got is not None
+        assert got.ppn == 5
+        assert tlb.hits == 1
+
+    def test_hit_costs_time(self):
+        clock = SimClock()
+        tlb = Tlb(clock, hit_ns=1)
+        tlb.fill(0x4000, entry())
+        t0 = clock.now_ns
+        tlb.lookup(0x4000)
+        assert clock.now_ns - t0 == 1
+
+    def test_different_page_misses(self):
+        tlb = Tlb(SimClock())
+        tlb.fill(0x4000, entry())
+        assert tlb.lookup(0x5000) is None
+
+
+class TestHugePages:
+    def test_huge_entry_covers_2mib(self):
+        tlb = Tlb(SimClock())
+        base = 0x40000000
+        tlb.fill(base, entry(ppn=0x200, level=2))
+        assert tlb.lookup(base) is not None
+        assert tlb.lookup(base + 0x1FF000) is not None  # last 4K of the 2M
+        assert tlb.lookup(base + 0x200000) is None      # next huge page
+
+    def test_invlpg_drops_huge_entry(self):
+        tlb = Tlb(SimClock())
+        base = 0x40000000
+        tlb.fill(base, entry(level=2))
+        tlb.invlpg(base + 0x12345)
+        assert tlb.lookup(base) is None
+
+
+class TestInvalidation:
+    def test_invlpg(self):
+        tlb = Tlb(SimClock())
+        tlb.fill(0x4000, entry())
+        tlb.invlpg(0x4000)
+        assert tlb.lookup(0x4000) is None
+
+    def test_invlpg_leaves_others(self):
+        tlb = Tlb(SimClock())
+        tlb.fill(0x4000, entry())
+        tlb.fill(0x5000, entry(ppn=9))
+        tlb.invlpg(0x4000)
+        assert tlb.lookup(0x5000).ppn == 9
+
+    def test_flush_all(self):
+        tlb = Tlb(SimClock())
+        tlb.fill(0x4000, entry())
+        tlb.fill(0x40000000, entry(level=2))
+        tlb.flush_all()
+        assert len(tlb) == 0
+        assert tlb.lookup(0x4000) is None
+
+
+class TestEviction:
+    def test_lru_4k(self):
+        tlb = Tlb(SimClock(), capacity_4k=2)
+        tlb.fill(0x1000, entry(ppn=1))
+        tlb.fill(0x2000, entry(ppn=2))
+        tlb.lookup(0x1000)            # make 0x1000 most-recent
+        tlb.fill(0x3000, entry(ppn=3))  # evicts 0x2000
+        assert tlb.lookup(0x1000) is not None
+        assert tlb.lookup(0x2000) is None
+
+    def test_lru_2m_separate(self):
+        tlb = Tlb(SimClock(), capacity_4k=1, capacity_2m=1)
+        tlb.fill(0x1000, entry(ppn=1))
+        tlb.fill(0x40000000, entry(ppn=2, level=2))
+        # Filling the huge side must not evict the small side.
+        assert tlb.lookup(0x1000) is not None
+        assert tlb.lookup(0x40000000) is not None

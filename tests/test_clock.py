@@ -1,0 +1,149 @@
+"""Tests for the simulated clock and cycle accountant."""
+
+import pytest
+
+from repro.clock import NS_PER_MS, CycleAccountant, SimClock
+from repro.errors import ConfigError
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_ns == 0
+
+    def test_custom_start(self):
+        assert SimClock(start_ns=42).now_ns == 42
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ConfigError):
+            SimClock(start_ns=-1)
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(100) == 100
+        assert clock.advance(50) == 150
+        assert clock.now_ns == 150
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            SimClock().advance(-1)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(500)
+        assert clock.now_ns == 500
+        clock.advance_to(100)  # into the past: no-op
+        assert clock.now_ns == 500
+
+    def test_now_ms(self):
+        clock = SimClock()
+        clock.advance(2 * NS_PER_MS)
+        assert clock.now_ms == pytest.approx(2.0)
+
+
+class TestScheduling:
+    def test_one_shot_event_fires_once(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(100, lambda: fired.append("a"))
+        assert clock.pop_due() == []
+        clock.advance(99)
+        assert clock.pop_due() == []
+        clock.advance(1)
+        events = clock.pop_due()
+        assert len(events) == 1
+        events[0].callback()
+        assert fired == ["a"]
+        clock.advance(1000)
+        assert clock.pop_due() == []
+
+    def test_events_pop_in_time_order(self):
+        clock = SimClock()
+        clock.schedule(200, lambda: None, name="late")
+        clock.schedule(100, lambda: None, name="early")
+        clock.advance(300)
+        names = [e.name for e in clock.pop_due()]
+        assert names == ["early", "late"]
+
+    def test_tie_broken_by_schedule_order(self):
+        clock = SimClock()
+        clock.schedule(100, lambda: None, name="first")
+        clock.schedule(100, lambda: None, name="second")
+        clock.advance(100)
+        assert [e.name for e in clock.pop_due()] == ["first", "second"]
+
+    def test_periodic_event_rearms(self):
+        clock = SimClock()
+        clock.schedule(10, lambda: None, period_ns=10, name="tick")
+        clock.advance(10)
+        assert len(clock.pop_due()) == 1
+        clock.advance(10)
+        assert len(clock.pop_due()) == 1
+
+    def test_periodic_missed_ticks_coalesce(self):
+        clock = SimClock()
+        clock.schedule(10, lambda: None, period_ns=10, name="tick")
+        clock.advance(95)  # 9 periods elapsed; only ticks due so far pop
+        due = clock.pop_due()
+        # One original + re-arms pop as they come due within the window.
+        assert len(due) >= 1
+        # After the pop, the next tick must be in the future.
+        assert clock.next_due_ns() > clock.now_ns
+
+    def test_cancel(self):
+        clock = SimClock()
+        event = clock.schedule(10, lambda: None)
+        clock.cancel(event)
+        clock.advance(100)
+        assert clock.pop_due() == []
+        assert clock.pending_count() == 0
+
+    def test_cancel_is_idempotent(self):
+        clock = SimClock()
+        event = clock.schedule(10, lambda: None)
+        clock.cancel(event)
+        clock.cancel(event)
+        clock.advance(20)
+        assert clock.pop_due() == []
+
+    def test_next_due_skips_cancelled(self):
+        clock = SimClock()
+        first = clock.schedule(10, lambda: None)
+        clock.schedule(20, lambda: None)
+        clock.cancel(first)
+        assert clock.next_due_ns() == 20
+
+    def test_schedule_in_past_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ConfigError):
+            clock.schedule(-5, lambda: None)
+
+    def test_pending_count(self):
+        clock = SimClock()
+        clock.schedule(10, lambda: None)
+        clock.schedule(20, lambda: None)
+        assert clock.pending_count() == 2
+
+
+class TestCycleAccountant:
+    def test_charge_and_totals(self):
+        acct = CycleAccountant()
+        acct.charge("fault", 100)
+        acct.charge("fault", 50)
+        acct.charge("timer", 10)
+        assert acct.total("fault") == 150
+        assert acct.total("timer") == 10
+        assert acct.total("absent") == 0
+        assert acct.grand_total() == 160
+
+    def test_snapshot_is_a_copy(self):
+        acct = CycleAccountant()
+        acct.charge("x", 1)
+        snap = acct.snapshot()
+        snap["x"] = 999
+        assert acct.total("x") == 1
+
+    def test_reset(self):
+        acct = CycleAccountant()
+        acct.charge("x", 1)
+        acct.reset()
+        assert acct.grand_total() == 0

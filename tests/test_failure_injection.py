@@ -1,0 +1,205 @@
+"""Failure-injection tests: out-of-memory, corrupted state, misuse.
+
+A systems library earns trust by failing loudly and consistently, not
+just by working on the happy path.  These tests drive each layer into
+its documented failure modes and check both the error type and that the
+system's bookkeeping stays coherent afterwards.
+"""
+
+import pytest
+
+from repro.config import MachineSpec, tiny_machine
+from repro.core.profile import SoftTrrParams
+from repro.core.softtrr import SoftTrr
+from repro.dram.disturbance import DisturbanceParams
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import DDR3_TIMINGS
+from repro.dram.chiptrr import TrrParams
+from repro.config import CostModel
+from repro.errors import (
+    BadAddressError,
+    KernelError,
+    KernelPanic,
+    OutOfMemoryError,
+    SegmentationFault,
+    SoftTrrError,
+)
+from repro.kernel.kernel import Kernel
+from repro.kernel.vma import PAGE
+from repro.mmu import bits
+
+
+def micro_machine() -> MachineSpec:
+    """A machine with almost no usable memory (1 MiB total, ~192 frames
+    after the kernel reservation)."""
+    return MachineSpec(
+        name="micro", cpu_arch="t", cpu_model="t", dram_part="t",
+        ddr_generation=3,
+        geometry=DramGeometry(num_banks=2, rows_per_bank=64, row_bytes=8192),
+        timings=DDR3_TIMINGS,
+        disturbance=DisturbanceParams(row_vuln_probability=0.0, seed=1),
+        trr=TrrParams(enabled=False),
+        cost=CostModel(),
+    )
+
+
+class TestOutOfMemory:
+    def test_demand_paging_oom_propagates(self):
+        kernel = Kernel(micro_machine())
+        proc = kernel.create_process("hog")
+        base = kernel.mmap(proc, 4096 * PAGE)  # far more than exists
+        with pytest.raises(OutOfMemoryError):
+            for i in range(4096):
+                kernel.user_write(proc, base + i * PAGE, b"x")
+
+    def test_exit_after_oom_recovers_memory(self):
+        kernel = Kernel(micro_machine())
+        proc = kernel.create_process("hog")
+        free_before = kernel.frame_policy.free_frames()
+        base = kernel.mmap(proc, 4096 * PAGE)
+        with pytest.raises(OutOfMemoryError):
+            for i in range(4096):
+                kernel.user_write(proc, base + i * PAGE, b"x")
+        kernel.exit_process(proc)
+        # Everything the hog touched is back (plus its own PML4 chain).
+        assert kernel.frame_policy.free_frames() == free_before + 1
+
+    def test_fork_oom_propagates(self):
+        kernel = Kernel(micro_machine())
+        proc = kernel.create_process("parent")
+        base = kernel.mmap(proc, 24 * PAGE)
+        for i in range(24):
+            kernel.user_write(proc, base + i * PAGE, b"x")
+        with pytest.raises(OutOfMemoryError):
+            while True:  # fork bombs eventually hit the wall
+                kernel.fork(proc)
+
+
+class TestCorruptedState:
+    def test_unclaimed_rsvd_fault_panics(self):
+        """A reserved bit the kernel did not set and no module claims is
+        a corrupted PTE: the kernel must refuse to continue."""
+        kernel = Kernel(tiny_machine())
+        proc = kernel.create_process("app")
+        base = kernel.mmap(proc, PAGE)
+        kernel.user_write(proc, base, b"x")
+        walk = kernel.software_walk(proc.mm, base)
+        corrupted = walk[3] | bits.PTE_RSVD_TRACE
+        kernel.dram.raw_write(walk[2], corrupted.to_bytes(8, "little"))
+        kernel.mmu.cache.flush_range(walk[2], 8)
+        kernel.mmu.invlpg(base)
+        with pytest.raises(KernelPanic):
+            kernel.user_read(proc, base, 1)
+
+    def test_rsvd_fault_not_ours_still_panics_with_softtrr(self):
+        """SoftTRR only claims faults for entries it armed; foreign
+        reserved-bit corruption still reaches the kernel's panic path
+        (bit 46, not the tracer's bit 51)."""
+        kernel = Kernel(tiny_machine())
+        kernel.load_module("softtrr",
+                           SoftTrr(SoftTrrParams(timer_inr_ns=50_000)))
+        proc = kernel.create_process("app")
+        base = kernel.mmap(proc, PAGE)
+        kernel.user_write(proc, base, b"x")
+        walk = kernel.software_walk(proc.mm, base)
+        corrupted = walk[3] | (1 << 46)  # reserved, but not bit 51
+        kernel.dram.raw_write(walk[2], corrupted.to_bytes(8, "little"))
+        kernel.mmu.cache.flush_range(walk[2], 8)
+        kernel.mmu.invlpg(base)
+        with pytest.raises(KernelPanic):
+            kernel.user_read(proc, base, 1)
+
+
+class TestMisuse:
+    def test_switch_to_dead_process(self):
+        kernel = Kernel(tiny_machine())
+        proc = kernel.create_process("gone")
+        kernel.exit_process(proc)
+        with pytest.raises(KernelError):
+            kernel.switch_to(proc)
+
+    def test_overlapping_fixed_mmap(self):
+        kernel = Kernel(tiny_machine())
+        proc = kernel.create_process("app")
+        base = kernel.mmap(proc, 4 * PAGE, at=0x0000_7B00_0000_0000)
+        with pytest.raises(KernelError):
+            kernel.mmap(proc, PAGE, at=base + PAGE)
+
+    def test_access_after_munmap_segfaults(self):
+        kernel = Kernel(tiny_machine())
+        proc = kernel.create_process("app")
+        base = kernel.mmap(proc, PAGE)
+        kernel.user_write(proc, base, b"x")
+        kernel.munmap(proc, base, PAGE)
+        with pytest.raises(SegmentationFault):
+            kernel.user_read(proc, base, 1)
+
+    def test_brk_below_heap_start(self):
+        kernel = Kernel(tiny_machine())
+        proc = kernel.create_process("app")
+        with pytest.raises(BadAddressError):
+            kernel.brk(proc, proc.mm.brk_start - PAGE)
+
+    def test_unload_never_loaded_module(self):
+        module = SoftTrr(SoftTrrParams())
+        kernel = Kernel(tiny_machine())
+        with pytest.raises(SoftTrrError):
+            module.unload(kernel)
+
+    def test_stats_before_load(self):
+        module = SoftTrr(SoftTrrParams())
+        with pytest.raises(SoftTrrError):
+            module.stats()
+
+    def test_unsafe_params_rejected_at_load(self):
+        kernel = Kernel(tiny_machine())
+        lax = SoftTrrParams(timer_inr_ns=10_000_000)  # 10 ms >> threshold
+        with pytest.raises(SoftTrrError):
+            kernel.load_module("softtrr", SoftTrr(lax))
+
+    def test_force_unsafe_bypasses_the_check(self):
+        kernel = Kernel(tiny_machine())
+        lax = SoftTrrParams(timer_inr_ns=10_000_000)
+        kernel.load_module("softtrr", SoftTrr(lax, force_unsafe=True))
+        assert kernel.module("softtrr") is not None
+
+
+class TestSoftTrrResilience:
+    def test_survives_process_exit_with_armed_pages(self):
+        kernel = Kernel(tiny_machine())
+        kernel.load_module("softtrr",
+                           SoftTrr(SoftTrrParams(timer_inr_ns=50_000)))
+        proc = kernel.create_process("app")
+        base = kernel.mmap(proc, 24 * PAGE)
+        for i in range(24):
+            kernel.user_write(proc, base + i * PAGE, b"x")
+        kernel.clock.advance(100_000)
+        kernel.dispatch_timers()
+        kernel.exit_process(proc)  # armed pages die with the process
+        # The system keeps running cleanly afterwards.
+        other = kernel.create_process("next")
+        nbase = kernel.mmap(other, 8 * PAGE)
+        for i in range(8):
+            kernel.user_write(other, nbase + i * PAGE, b"y")
+        kernel.clock.advance(200_000)
+        kernel.dispatch_timers()
+        assert kernel.user_read(other, nbase, 1) == b"y"
+
+    def test_load_unload_load_cycle(self):
+        kernel = Kernel(tiny_machine())
+        proc = kernel.create_process("app")
+        base = kernel.mmap(proc, 16 * PAGE)
+        for i in range(16):
+            kernel.user_write(proc, base + i * PAGE, b"x")
+        params = SoftTrrParams(timer_inr_ns=50_000)
+        for _ in range(3):
+            kernel.load_module("softtrr", SoftTrr(params))
+            kernel.clock.advance(120_000)
+            kernel.dispatch_timers()
+            kernel.user_read(proc, base, 1)
+            kernel.unload_module("softtrr")
+            # After unload, accesses run clean (no stale armed bits).
+            faults = kernel.faults_handled
+            for i in range(16):
+                kernel.user_read(proc, base + i * PAGE, 1)
+            assert kernel.faults_handled == faults
