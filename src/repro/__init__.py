@@ -23,6 +23,14 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured comparison of every table and figure.
 """
 
+from .checkers.report import SanitizerReport, Violation
+from .checkers.sanitizers import (
+    SanitizerManager,
+    check_window,
+    check_window_config,
+    install_sanitizers,
+    sanitized,
+)
 from .clock import NS_PER_MS, NS_PER_SEC, NS_PER_US, SimClock
 from .config import (
     CostModel,
@@ -37,12 +45,21 @@ from .config import (
 )
 from .core.profile import OfflineProfile, SoftTrrParams
 from .core.softtrr import SoftTrr, SoftTrrStats
+from .errors import SanitizerViolationError
 from .kernel.kernel import Kernel
 from .kernel.physmem import FrameUse
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "SanitizerReport",
+    "Violation",
+    "SanitizerManager",
+    "check_window",
+    "check_window_config",
+    "install_sanitizers",
+    "sanitized",
+    "SanitizerViolationError",
     "NS_PER_MS",
     "NS_PER_SEC",
     "NS_PER_US",

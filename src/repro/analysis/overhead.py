@@ -14,7 +14,6 @@ the raw model output.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -22,6 +21,7 @@ from ..config import MachineSpec, perf_testbed
 from ..core.profile import SoftTrrParams
 from ..core.softtrr import SoftTrr
 from ..kernel.kernel import Kernel
+from ..rng import derive_rng
 from ..workloads.base import SliceWorkload, WorkloadProfile
 
 
@@ -51,7 +51,7 @@ def _run_once(spec: MachineSpec, profile: WorkloadProfile,
 def _noisy(runtime_ns: int, tag: str, sigma_pct: float, seed: int) -> int:
     if sigma_pct <= 0:
         return runtime_ns
-    rng = random.Random(f"noise:{tag}:{seed}")
+    rng = derive_rng("noise", tag, seed)
     return int(runtime_ns * (1.0 + rng.gauss(0.0, sigma_pct / 100.0)))
 
 

@@ -97,7 +97,7 @@ def place_l1pt_at(kernel, process: Process, vaddr: int,
     l2_entry = kernel.mmu.pt_ops.read_entry(table, l2_index)
     new_entry = (l2_entry & ~bits.PTE_ADDR_MASK) | (
         (target_ppn << 12) & bits.PTE_ADDR_MASK)
-    kernel.mmu.pt_ops.write_entry(table, l2_index, new_entry)
+    kernel.mmu.write_pte(table, l2_index, new_entry)
     # Transfer kernel bookkeeping, flush stale translations.
     mm.pte_page_population[target_ppn] = mm.pte_page_population.pop(old_l1)
     kernel.mmu.on_context_switch()

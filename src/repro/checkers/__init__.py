@@ -1,0 +1,39 @@
+"""Correctness tooling: custom lint pass + runtime invariant sanitizers.
+
+Two halves:
+
+* :mod:`repro.checkers.lint` — an AST lint with repo-specific rules
+  (RPR001..RPR005), runnable as ``python -m repro.checkers.lint src/``
+  or via the ``repro-lint`` entry point.
+* :mod:`repro.checkers.sanitizers` — runtime invariant checks that
+  install at the simulation's choke points and accumulate violations
+  into a :class:`~repro.checkers.report.SanitizerReport`.
+
+See the "Correctness tooling" sections of README.md and DESIGN.md.
+"""
+
+from .framework import Finding, LintContext, LintRule, lint_source
+from .report import SanitizerReport, Violation
+from .rules import default_rules
+from .sanitizers import (
+    SanitizerManager,
+    check_window,
+    check_window_config,
+    install_sanitizers,
+    sanitized,
+)
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "LintRule",
+    "lint_source",
+    "SanitizerReport",
+    "Violation",
+    "default_rules",
+    "SanitizerManager",
+    "check_window",
+    "check_window_config",
+    "install_sanitizers",
+    "sanitized",
+]

@@ -1,0 +1,186 @@
+"""Shared machinery for the repo-specific lint pass.
+
+The lint is deliberately tiny: one AST walk per file, with every rule
+registered for the node types it cares about.  Rules are small classes
+(:class:`LintRule`) producing :class:`Finding` objects; the framework
+owns file I/O, suppression comments and output formatting so a rule is
+typically under 40 lines.
+
+Suppressions are per-line::
+
+    entry |= 1 << 51  # repro-lint: disable=RPR003
+    entry |= 1 << 51  # repro-lint: disable=all
+
+A finding is suppressed when the comment sits on the line the finding
+points at.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint hit: a rule, a location, a message."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format_text(self) -> str:
+        """``path:line:col: RPRxxx message`` — the text output line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-output shape."""
+        return {
+            "rule_id": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintContext:
+    """Everything a rule needs to know about the file under lint."""
+
+    #: Repo-relative POSIX path (what allow-lists match against).
+    rel_path: str
+    source: str
+    tree: ast.Module
+    #: line -> suppressed rule IDs ("ALL" suppresses everything).
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @property
+    def is_package_init(self) -> bool:
+        """Whether the file is a package ``__init__.py``."""
+        return PurePosixPath(self.rel_path).name == "__init__.py"
+
+    def in_paths(self, allowed: Sequence[str]) -> bool:
+        """Whether the file is one of / under one of ``allowed``.
+
+        Entries ending in ``/`` are directory prefixes; others are exact
+        file paths.  Matching is against the *suffix* of the relative
+        path, so ``repro/clock.py`` matches whether the lint was invoked
+        on ``src/`` or on the repository root.
+        """
+        path = PurePosixPath(self.rel_path)
+        posix = path.as_posix()
+        for allow in allowed:
+            if allow.endswith("/"):
+                if f"/{allow}" in f"/{posix}":
+                    return True
+            elif posix == allow or posix.endswith(f"/{allow}"):
+                return True
+        return False
+
+
+class LintRule:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`rule_id` / :attr:`description`, declare the
+    AST node types they want in :attr:`interests`, and implement
+    :meth:`check_node`; rules that reason about the whole module (e.g.
+    export consistency) override :meth:`check_module` instead.
+    """
+
+    rule_id: str = "RPR000"
+    description: str = ""
+    #: Node types routed to :meth:`check_node` during the shared walk.
+    interests: Tuple[Type[ast.AST], ...] = ()
+    #: Files (exact) / directories (trailing ``/``) exempt from the rule.
+    allowed_paths: Tuple[str, ...] = ()
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        """Whether the rule runs on this file at all."""
+        return not ctx.in_paths(self.allowed_paths)
+
+    def check_node(self, node: ast.AST, ctx: LintContext) -> Iterable[Finding]:
+        """Findings for one node of an interesting type."""
+        return ()
+
+    def check_module(self, ctx: LintContext) -> Iterable[Finding]:
+        """Findings needing the whole module (runs once per file)."""
+        return ()
+
+    def finding(self, ctx: LintContext, node: ast.AST, message: str) -> Finding:
+        """Convenience constructor anchored at ``node``."""
+        return Finding(
+            rule_id=self.rule_id,
+            path=ctx.rel_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rule IDs disabled on that line."""
+    out: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        ids = {
+            token.strip().upper()
+            for token in match.group(1).split(",")
+            if token.strip()
+        }
+        if ids:
+            out[lineno] = ids
+    return out
+
+
+def _suppressed(finding: Finding, suppressions: Dict[int, Set[str]]) -> bool:
+    ids = suppressions.get(finding.line)
+    if not ids:
+        return False
+    return "ALL" in ids or finding.rule_id.upper() in ids
+
+
+def lint_source(
+    source: str,
+    rel_path: str,
+    rules: Sequence[LintRule],
+) -> List[Finding]:
+    """Lint one file's source text with ``rules``; returns its findings.
+
+    Raises :class:`SyntaxError` if the source does not parse — callers
+    surface that as a distinct exit code rather than a finding.
+    """
+    tree = ast.parse(source, filename=rel_path)
+    ctx = LintContext(
+        rel_path=PurePosixPath(rel_path).as_posix(),
+        source=source,
+        tree=tree,
+        suppressions=parse_suppressions(source),
+    )
+    active = [rule for rule in rules if rule.applies_to(ctx)]
+    if not active:
+        return []
+    findings: List[Finding] = []
+    # Route node types to the rules interested in them, one shared walk.
+    by_type: List[Tuple[Tuple[Type[ast.AST], ...], LintRule]] = [
+        (rule.interests, rule) for rule in active if rule.interests
+    ]
+    if by_type:
+        for node in ast.walk(tree):
+            for interests, rule in by_type:
+                if isinstance(node, interests):
+                    findings.extend(rule.check_node(node, ctx))
+    for rule in active:
+        findings.extend(rule.check_module(ctx))
+    findings = [f for f in findings if not _suppressed(f, ctx.suppressions)]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings

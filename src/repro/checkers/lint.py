@@ -1,0 +1,124 @@
+"""Command-line driver for the repo-specific lint pass.
+
+Usage::
+
+    python -m repro.checkers.lint src/
+    repro-lint src/ --format json
+    repro-lint src/repro/core/tracer.py --rules RPR003,RPR004
+
+Exit codes: 0 = clean, 1 = findings, 2 = usage or parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .framework import Finding, LintRule, lint_source
+from .rules import default_rules
+
+__all__ = ["collect_files", "lint_paths", "main"]
+
+
+def collect_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            out.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    return out
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[LintRule]] = None,
+) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths``; returns all findings.
+
+    Propagates :class:`FileNotFoundError` for missing paths and
+    :class:`SyntaxError` for unparsable files.
+    """
+    chosen = tuple(rules) if rules is not None else tuple(default_rules())
+    findings: List[Finding] = []
+    for path in collect_files(paths):
+        source = path.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, path.as_posix(), chosen))
+    return findings
+
+
+def _select_rules(spec: Optional[str]) -> Sequence[LintRule]:
+    rules = tuple(default_rules())
+    if not spec:
+        return rules
+    wanted = {token.strip().upper() for token in spec.split(",") if token.strip()}
+    known = {rule.rule_id for rule in rules}
+    unknown = wanted - known
+    if unknown:
+        raise ValueError(
+            f"unknown rule IDs: {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    return tuple(rule for rule in rules if rule.rule_id in wanted)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro.checkers.lint`` / ``repro-lint``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Repo-specific lint for the SoftTRR reproduction "
+                    "(rules RPR001..RPR005).",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: text)")
+    parser.add_argument("--rules", default=None, metavar="IDS",
+                        help="comma-separated rule IDs to run (default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the known rules and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.rule_id}  {rule.description}")
+        return 0
+    if not args.paths:
+        parser.error("the following arguments are required: paths")
+
+    try:
+        rules = _select_rules(args.rules)
+        findings = lint_paths(args.paths, rules)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+    except SyntaxError as exc:
+        print(f"repro-lint: parse error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        if args.format == "json":
+            print(json.dumps(
+                {"findings": [f.as_dict() for f in findings],
+                 "count": len(findings)},
+                indent=2,
+            ))
+        else:
+            for finding in findings:
+                print(finding.format_text())
+            if findings:
+                print(f"{len(findings)} finding(s)", file=sys.stderr)
+    except BrokenPipeError:  # `repro-lint ... | head` is fine
+        sys.stderr.close()
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

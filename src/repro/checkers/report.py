@@ -1,0 +1,79 @@
+"""Violation accumulation for the runtime sanitizers.
+
+A :class:`SanitizerReport` collects :class:`Violation` records so tests
+can make assertions like "this forced desync was caught with the right
+PPN" or "this whole integration run stayed clean".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import SanitizerViolationError
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, with whatever location data applies."""
+
+    sanitizer: str
+    message: str
+    #: Physical page the breach concerns (shadow mismatch, PTE home).
+    ppn: Optional[int] = None
+    #: Physical address of the PTE involved (Pte/Tlb sanitizers).
+    pte_paddr: Optional[int] = None
+    bank: Optional[int] = None
+    row: Optional[int] = None
+    #: Simulated time the breach was detected.
+    at_ns: int = 0
+
+    def format(self) -> str:
+        """Human-readable one-liner."""
+        where = []
+        if self.ppn is not None:
+            where.append(f"ppn={self.ppn:#x}")
+        if self.pte_paddr is not None:
+            where.append(f"pte_paddr={self.pte_paddr:#x}")
+        if self.bank is not None:
+            where.append(f"bank={self.bank}")
+        if self.row is not None:
+            where.append(f"row={self.row}")
+        suffix = f" [{' '.join(where)}]" if where else ""
+        return f"{self.sanitizer}: {self.message}{suffix} @ {self.at_ns}ns"
+
+
+@dataclass
+class SanitizerReport:
+    """Accumulated violations of one sanitized kernel."""
+
+    violations: List[Violation] = field(default_factory=list)
+    #: Number of checkpoint sweeps performed (diagnostics).
+    checkpoints: int = 0
+
+    def record(self, violation: Violation) -> Violation:
+        """Append one violation and return it."""
+        self.violations.append(violation)
+        return violation
+
+    def __len__(self) -> int:
+        return len(self.violations)
+
+    def by_sanitizer(self, name: str) -> List[Violation]:
+        """Violations recorded by one sanitizer."""
+        return [v for v in self.violations if v.sanitizer == name]
+
+    def clear(self) -> None:
+        """Drop every recorded violation (between test phases)."""
+        self.violations.clear()
+
+    def assert_clean(self) -> None:
+        """Raise :class:`SanitizerViolationError` if anything was caught."""
+        if self.violations:
+            summary = "; ".join(v.format() for v in self.violations[:8])
+            more = len(self.violations) - 8
+            if more > 0:
+                summary += f"; +{more} more"
+            raise SanitizerViolationError(
+                f"{len(self.violations)} sanitizer violation(s): {summary}"
+            )

@@ -1,0 +1,303 @@
+"""The repo-specific lint rules (RPR001..RPR005).
+
+Each rule encodes an invariant the simulation's correctness argument
+rests on:
+
+* **RPR001** — no wall-clock. Every duration in the reproduction is
+  simulated time on :class:`repro.clock.SimClock`; one stray
+  ``time.perf_counter()`` makes runs machine-dependent.
+* **RPR002** — no direct ``import random``. Randomness must flow from
+  :mod:`repro.rng` (or an injected generator) so results are a pure
+  function of the seed.
+* **RPR003** — no raw bit-51 / reserved-mask literals. The trace bit is
+  architecture knowledge owned by :mod:`repro.mmu.bits`; a duplicated
+  literal silently diverges when the constant changes.
+* **RPR004** — no ``write_entry`` calls outside the MMU and the tracer.
+  Page-table stores must go through :meth:`repro.mmu.mmu.Mmu.write_pte`
+  (or ``pt_ops`` within ``mmu/``) so the runtime sanitizers sit on a
+  single choke point.
+* **RPR005** — ``__all__`` consistency for every package
+  ``__init__.py``: the export list exists, is a literal, names only
+  bound symbols, and covers every public top-level binding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Sequence, Set
+
+from ..mmu import bits
+from .framework import Finding, LintContext, LintRule
+
+#: Wall-clock reads (and sleeps) that would leak host time into a run.
+_WALL_CLOCK_NAMES = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+    "sleep",
+})
+
+_RSVD_VALUE = bits.PTE_RSVD_TRACE
+_RESERVED_MASK_VALUE = bits.PTE_RESERVED_MASK
+_RSVD_BIT_INDEX = bits.PTE_RSVD_TRACE.bit_length() - 1
+
+
+class WallClockRule(LintRule):
+    """RPR001: wall-clock time is only legal inside ``repro/clock.py``."""
+
+    rule_id = "RPR001"
+    description = "no wall-clock (time.time/perf_counter) outside clock.py"
+    interests = (ast.Import, ast.ImportFrom, ast.Attribute)
+    allowed_paths = ("repro/clock.py",)
+
+    def check_node(self, node: ast.AST, ctx: LintContext) -> Iterable[Finding]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    yield self.finding(
+                        ctx, node,
+                        "import of the wall-clock 'time' module; use "
+                        "repro.clock.SimClock for simulated time",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "time" and node.level == 0:
+                for alias in node.names:
+                    if alias.name in _WALL_CLOCK_NAMES or alias.name == "*":
+                        yield self.finding(
+                            ctx, node,
+                            f"wall-clock import 'time.{alias.name}'; use "
+                            "repro.clock.SimClock for simulated time",
+                        )
+        elif isinstance(node, ast.Attribute):
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "time"
+                and node.attr in _WALL_CLOCK_NAMES
+            ):
+                yield self.finding(
+                    ctx, node,
+                    f"wall-clock read 'time.{node.attr}'; use "
+                    "repro.clock.SimClock for simulated time",
+                )
+
+
+class UnseededRandomRule(LintRule):
+    """RPR002: ``import random`` is only legal inside ``repro/rng.py``."""
+
+    rule_id = "RPR002"
+    description = "no direct 'import random' outside repro/rng.py"
+    interests = (ast.Import, ast.ImportFrom)
+    allowed_paths = ("repro/rng.py",)
+
+    def check_node(self, node: ast.AST, ctx: LintContext) -> Iterable[Finding]:
+        if isinstance(node, ast.Import):
+            names = [alias.name for alias in node.names]
+        else:
+            names = [node.module] if node.level == 0 else []
+        if "random" in names:
+            yield self.finding(
+                ctx, node,
+                "direct 'import random'; derive a seeded generator with "
+                "repro.rng.derive_rng or accept an injected rng.Random",
+            )
+
+
+class RawBitLiteralRule(LintRule):
+    """RPR003: bit-51/reserved-mask literals live in ``repro/mmu/bits.py``."""
+
+    rule_id = "RPR003"
+    description = "no raw bit-51 / reserved-mask literals outside mmu/bits.py"
+    interests = (ast.Constant, ast.BinOp)
+    allowed_paths = ("repro/mmu/bits.py",)
+
+    def check_node(self, node: ast.AST, ctx: LintContext) -> Iterable[Finding]:
+        if isinstance(node, ast.Constant):
+            if node.value is True or node.value is False:
+                return
+            if node.value == _RSVD_VALUE:
+                yield self.finding(
+                    ctx, node,
+                    "raw bit-51 literal; use repro.mmu.bits.PTE_RSVD_TRACE",
+                )
+            elif node.value == _RESERVED_MASK_VALUE:
+                yield self.finding(
+                    ctx, node,
+                    "raw reserved-mask literal; use "
+                    "repro.mmu.bits.PTE_RESERVED_MASK",
+                )
+        elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.LShift):
+            if (
+                isinstance(node.right, ast.Constant)
+                and node.right.value == _RSVD_BIT_INDEX
+            ):
+                yield self.finding(
+                    ctx, node,
+                    "shift to the reserved trace bit; use "
+                    "repro.mmu.bits.PTE_RSVD_TRACE",
+                )
+
+
+class WriteEntryRule(LintRule):
+    """RPR004: ``write_entry`` calls are restricted to the MMU layer.
+
+    The tracer keeps its direct access (it *is* the arm/disarm path the
+    sanitizers reason about), and the sanitizers themselves wrap the
+    method; everyone else goes through :meth:`Mmu.write_pte` so a single
+    choke point sees every architectural page-table store.
+    """
+
+    rule_id = "RPR004"
+    description = "no PageTable.write_entry callers outside mmu/ and the tracer"
+    interests = (ast.Call,)
+    allowed_paths = (
+        "repro/mmu/",
+        "repro/core/tracer.py",
+        "repro/checkers/sanitizers.py",
+    )
+
+    def check_node(self, node: ast.AST, ctx: LintContext) -> Iterable[Finding]:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "write_entry":
+            yield self.finding(
+                ctx, node,
+                "direct write_entry call; go through Mmu.write_pte so the "
+                "sanitizer choke point sees the store",
+            )
+
+
+class ExportConsistencyRule(LintRule):
+    """RPR005: package ``__init__.py`` exports are complete and bound."""
+
+    rule_id = "RPR005"
+    description = "__all__ must exist, be literal, bound and complete"
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return ctx.is_package_init
+
+    def check_module(self, ctx: LintContext) -> Iterable[Finding]:
+        tree = ctx.tree
+        bound: Set[str] = set()
+        star_import = False
+        all_node = None
+        all_names: List[str] = []
+        all_literal = True
+        for stmt in tree.body:
+            for name in _bound_names(stmt):
+                if name == "*":
+                    star_import = True
+                else:
+                    bound.add(name)
+            target = _all_assignment(stmt)
+            if target is not None:
+                all_node = stmt
+                names, literal = target
+                all_names = names
+                all_literal = literal
+        if all_node is None:
+            yield Finding(
+                rule_id=self.rule_id, path=ctx.rel_path, line=1, col=0,
+                message="package __init__ defines no __all__",
+            )
+            return
+        if not all_literal:
+            yield self.finding(
+                ctx, all_node,
+                "__all__ must be a literal list/tuple of strings",
+            )
+            return
+        seen: Set[str] = set()
+        for name in all_names:
+            if name in seen:
+                yield self.finding(
+                    ctx, all_node, f"__all__ lists {name!r} twice")
+            seen.add(name)
+            if name not in bound and not star_import:
+                yield self.finding(
+                    ctx, all_node,
+                    f"__all__ exports {name!r} which is not bound at "
+                    "module level",
+                )
+        for name in sorted(bound):
+            if name.startswith("_"):
+                continue
+            if name not in seen:
+                yield self.finding(
+                    ctx, all_node,
+                    f"public name {name!r} is bound but missing from __all__",
+                )
+
+
+def _bound_names(stmt: ast.stmt) -> Iterable[str]:
+    """Names a top-level statement binds (``*`` for a star import)."""
+    if isinstance(stmt, ast.Import):
+        for alias in stmt.names:
+            yield alias.asname or alias.name.split(".")[0]
+    elif isinstance(stmt, ast.ImportFrom):
+        for alias in stmt.names:
+            yield "*" if alias.name == "*" else (alias.asname or alias.name)
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        yield stmt.name
+    elif isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            yield from _target_names(target)
+    elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+        if stmt.value is not None:
+            yield stmt.target.id
+    elif isinstance(stmt, (ast.If, ast.Try)):
+        for body in _nested_bodies(stmt):
+            for sub in body:
+                yield from _bound_names(sub)
+
+
+def _nested_bodies(stmt: ast.stmt):
+    if isinstance(stmt, ast.If):
+        yield stmt.body
+        yield stmt.orelse
+    elif isinstance(stmt, ast.Try):
+        yield stmt.body
+        yield stmt.orelse
+        yield stmt.finalbody
+        for handler in stmt.handlers:
+            yield handler.body
+
+
+def _target_names(target: ast.expr) -> Iterable[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+
+
+def _all_assignment(stmt: ast.stmt):
+    """(names, is_literal) if ``stmt`` assigns ``__all__``, else None."""
+    value = None
+    if isinstance(stmt, ast.Assign):
+        if any(isinstance(t, ast.Name) and t.id == "__all__"
+               for t in stmt.targets):
+            value = stmt.value
+    elif (isinstance(stmt, ast.AnnAssign)
+          and isinstance(stmt.target, ast.Name)
+          and stmt.target.id == "__all__"):
+        value = stmt.value
+    if value is None:
+        return None
+    if not isinstance(value, (ast.List, ast.Tuple)):
+        return [], False
+    names: List[str] = []
+    for element in value.elts:
+        if isinstance(element, ast.Constant) and isinstance(element.value, str):
+            names.append(element.value)
+        else:
+            return [], False
+    return names, True
+
+
+def default_rules() -> Sequence[LintRule]:
+    """Fresh instances of every rule, in rule-ID order."""
+    return (
+        WallClockRule(),
+        UnseededRandomRule(),
+        RawBitLiteralRule(),
+        WriteEntryRule(),
+        ExportConsistencyRule(),
+    )

@@ -36,6 +36,7 @@ from ..kernel.hooks import (
     HOOK_PAGE_MAPPED,
     HOOK_PMD_ALLOC,
     HOOK_PTE_ALLOC,
+    HOOK_PTE_CLEARED,
 )
 from ..kernel.physmem import FrameUse
 from .collector import PageTableCollector
@@ -134,6 +135,7 @@ class SoftTrr:
             (HOOK_FREE_PAGES, self._on_free_pages),
             (HOOK_PAGE_FAULT, self._on_page_fault),
             (HOOK_PAGE_MAPPED, self._on_page_mapped),
+            (HOOK_PTE_CLEARED, self._on_pte_cleared),
         ]
         if 2 in self.params.protect_levels:
             self._hook_callbacks.append((HOOK_PMD_ALLOC, self._on_pmd_alloc))
@@ -173,6 +175,9 @@ class SoftTrr:
             "softtrr_collector", self.kernel.cost.collector_hook_ns)
         self.collector.on_pt_alloc(process, pt_ppn)
         self.overhead_ns += self.kernel.clock.now_ns - t0
+
+    def _on_pte_cleared(self, pte_paddr: int) -> None:
+        self.tracer.on_pte_cleared(pte_paddr)
 
     def _on_pmd_alloc(self, process, pmd_ppn: int) -> None:
         t0 = self.kernel.clock.now_ns

@@ -213,6 +213,16 @@ class AdjacentPageTracer:
             if self.collector.classify_new_page(page, l1_ppn):
                 self.collector.register_dynamic_adjacent(page)
 
+    def on_pte_cleared(self, pte_paddr: int) -> None:
+        """pte-cleared hook: kernel unmap code zeroed this entry.
+
+        The mark died with the entry, so the armed record must go too —
+        a stale record would block re-arming when the slot is recycled
+        for a new mapping (and desynchronise the tracker from DRAM, the
+        exact failure mode the PTE sanitizer exists to catch).
+        """
+        self._armed.pop(pte_paddr, None)
+
     def purge_table(self, table_ppn: int) -> None:
         """Forget armed entries living in a freed page-table page.
 

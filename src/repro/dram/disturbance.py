@@ -33,11 +33,11 @@ and the security evaluation depend on.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ConfigError
+from ..rng import derive_rng
 from .geometry import DramGeometry
 from .remap import IdentityRemap, RowRemap
 
@@ -134,7 +134,7 @@ class DisturbanceEngine:
         cached = self._cells.get(key)
         if cached is not None:
             return cached
-        rng = random.Random(f"cells:{self.params.seed}:{bank}:{row}")
+        rng = derive_rng("cells", self.params.seed, bank, row)
         cells: List[VulnerableCell] = []
         if rng.random() < self.params.row_vuln_probability:
             count = rng.randint(1, self.params.max_vuln_cells_per_row)

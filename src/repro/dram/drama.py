@@ -29,11 +29,11 @@ truth (`recovered_equals`), which is what the tests and the
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..errors import DramError
+from ..rng import Random
 from .address import AddressMapping
 from .geometry import LINE_BYTES, LINE_SHIFT
 from .module import DramModule
@@ -85,9 +85,9 @@ class DramaProbe:
     profiles.
     """
 
-    def __init__(self, module: DramModule, rng: Optional[random.Random] = None) -> None:
+    def __init__(self, module: DramModule, rng: Optional[Random] = None) -> None:
         self.module = module
-        self.rng = rng or random.Random(0xD0A)
+        self.rng = rng or Random(0xD0A)
         self.measurements = 0
         hit = module.timings.hit_latency_ns
         conflict = module.timings.conflict_latency_ns
@@ -220,7 +220,7 @@ def reverse_engineer_mapping(
     module: DramModule,
     sample_count: int = 256,
     max_mask_weight: int = 2,
-    rng: Optional[random.Random] = None,
+    rng: Optional[Random] = None,
 ) -> RecoveredMapping:
     """Recover the module's address mapping from timing alone.
 

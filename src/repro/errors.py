@@ -69,6 +69,11 @@ class SoftTrrError(ReproError):
     """An invalid operation against the SoftTRR module itself."""
 
 
+class SanitizerViolationError(ReproError):
+    """A runtime invariant sanitizer caught a breach (strict mode), or a
+    :meth:`SanitizerReport.assert_clean` found accumulated violations."""
+
+
 class DefenseError(ReproError):
     """An invalid operation against one of the baseline defenses."""
 

@@ -43,6 +43,12 @@ HOOK_CONTEXT_SWITCH = "context_switch"
 #: the initial collection ("free pages that are adjacent to L1PT pages
 #: and allocated for use later", Section IV-B).
 HOOK_PAGE_MAPPED = "page_mapped"
+#: Fires when kernel unmap code clears a live leaf PTE (writes zero
+#: over it).  Carries the entry's physical address.  SoftTRR's tracer
+#: needs it to drop any armed record for the slot — otherwise a stale
+#: registry entry would block re-arming when the slot is recycled (and
+#: trip the PTE sanitizer's tracked-but-unmarked invariant).
+HOOK_PTE_CLEARED = "pte_cleared"
 
 KNOWN_HOOKS = (
     HOOK_PTE_ALLOC,
@@ -52,6 +58,7 @@ KNOWN_HOOKS = (
     HOOK_PAGE_FAULT_POST,
     HOOK_CONTEXT_SWITCH,
     HOOK_PAGE_MAPPED,
+    HOOK_PTE_CLEARED,
 )
 
 

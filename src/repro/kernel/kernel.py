@@ -47,6 +47,7 @@ from .hooks import (
     HOOK_PAGE_MAPPED,
     HOOK_PMD_ALLOC,
     HOOK_PTE_ALLOC,
+    HOOK_PTE_CLEARED,
     HookManager,
 )
 from .physmem import DefaultFramePolicy, FramePolicy, FrameTable, FrameUse
@@ -109,6 +110,14 @@ class Kernel:
         self.demand_pages = 0
         self.forks = 0
         self.segfaults = 0
+        #: Runtime invariant sanitizers (:mod:`repro.checkers`), when
+        #: enabled via ``MachineSpec(sanitize=True)`` or installed later
+        #: with ``install_sanitizers`` / ``with sanitized(kernel):``.
+        self.sanitizers = None
+        if spec.sanitize:
+            from ..checkers.sanitizers import install_sanitizers
+
+            install_sanitizers(self)
 
     # =============================================================== frames
     def alloc_frame(self, use: FrameUse, order: int = 0) -> int:
@@ -195,7 +204,7 @@ class Kernel:
                 child = self.alloc_frame(FrameUse.PAGE_TABLE)
                 mm.upper_table_pages.append(child)
                 mm.table_levels[child] = level - 1
-                self.mmu.pt_ops.write_entry(
+                self.mmu.write_pte(
                     table, index, bits.make_pte(child, USER_PTE_FLAGS))
                 if level - 1 == 2:
                     self.hooks.notify(HOOK_PMD_ALLOC, process, child)
@@ -207,7 +216,7 @@ class Kernel:
         if not bits.is_present(entry):
             l1 = self.alloc_frame(FrameUse.PAGE_TABLE)
             mm.pte_page_population[l1] = 0
-            self.mmu.pt_ops.write_entry(
+            self.mmu.write_pte(
                 table, index, bits.make_pte(l1, USER_PTE_FLAGS))
             self.accountant.charge("pte_alloc_hook", self.cost.collector_hook_ns)
             self.hooks.notify(HOOK_PTE_ALLOC, process, l1)
@@ -227,7 +236,7 @@ class Kernel:
                 child = self.alloc_frame(FrameUse.PAGE_TABLE)
                 mm.upper_table_pages.append(child)
                 mm.table_levels[child] = level - 1
-                self.mmu.pt_ops.write_entry(
+                self.mmu.write_pte(
                     table, index, bits.make_pte(child, USER_PTE_FLAGS))
                 if level - 1 == 2:
                     self.hooks.notify(HOOK_PMD_ALLOC, process, child)
@@ -244,7 +253,7 @@ class Kernel:
         old = self.mmu.pt_ops.read_entry(l1, index)
         if bits.is_present(old):
             raise KernelError(f"{vaddr:#x} already mapped in pid {process.pid}")
-        self.mmu.pt_ops.write_entry(l1, index, bits.make_pte(ppn, flags))
+        self.mmu.write_pte(l1, index, bits.make_pte(ppn, flags))
         process.mm.pte_page_population[l1] = (
             process.mm.pte_page_population.get(l1, 0) + 1)
         self.rmap.add(ppn, process.pid, bits.page_base(vaddr))
@@ -260,7 +269,7 @@ class Kernel:
         old = self.mmu.pt_ops.read_entry(l2, index)
         if bits.is_present(old):
             raise KernelError(f"{vaddr:#x} already covered at L2")
-        self.mmu.pt_ops.write_entry(
+        self.mmu.write_pte(
             l2, index, bits.make_pte(base_ppn, flags | bits.PTE_PSE))
         for i in range(HUGE // PAGE):
             self.rmap.add(base_ppn + i, process.pid, vaddr + i * PAGE)
@@ -282,7 +291,8 @@ class Kernel:
             raise KernelError("unmap_page on a huge mapping")
         l1 = pte_paddr >> 12
         index = (pte_paddr & 0xFFF) // 8
-        self.mmu.pt_ops.write_entry(l1, index, 0)
+        self.mmu.write_pte(l1, index, 0)
+        self.hooks.notify(HOOK_PTE_CLEARED, pte_paddr)
         self.mmu.invlpg(bits.page_base(vaddr))
         self.rmap.remove(ppn, process.pid, bits.page_base(vaddr))
         mm.pte_page_population[l1] -= 1
@@ -294,7 +304,9 @@ class Kernel:
         """Release an empty L1PT page and clear its L2 entry."""
         mm = process.mm
         l2, index = self._l2_slot_of(process, vaddr)
-        self.mmu.pt_ops.write_entry(l2, index, 0)
+        self.mmu.write_pte(l2, index, 0)
+        self.hooks.notify(
+            HOOK_PTE_CLEARED, self.mmu.pt_ops.entry_paddr(l2, index))
         del mm.pte_page_population[l1]
         self.free_frame(l1)
 
@@ -305,7 +317,9 @@ class Kernel:
         if not bits.is_present(entry) or not bits.is_huge(entry):
             return None
         base_ppn = bits.pte_ppn(entry)
-        self.mmu.pt_ops.write_entry(l2, index, 0)
+        self.mmu.write_pte(l2, index, 0)
+        self.hooks.notify(
+            HOOK_PTE_CLEARED, self.mmu.pt_ops.entry_paddr(l2, index))
         self.mmu.invlpg(vaddr)
         for i in range(HUGE // PAGE):
             self.rmap.remove(base_ppn + i, process.pid, vaddr + i * PAGE)

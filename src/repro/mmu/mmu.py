@@ -168,6 +168,17 @@ class Mmu:
         """Kernel write through the direct-physical map."""
         self.cache.store(self.dram, paddr, data)
 
+    # ------------------------------------------------------ page tables
+    def write_pte(self, table_ppn: int, index: int, value: int) -> None:
+        """Architectural page-table store — the kernel's sanctioned path.
+
+        Kernel mapping code (and anything outside ``mmu/``) must come
+        through here rather than calling ``pt_ops.write_entry`` directly
+        (lint rule RPR004): keeping a single entry point is what lets
+        the runtime sanitizers observe every PTE store.
+        """
+        self.pt_ops.write_entry(table_ppn, index, value)
+
     # -------------------------------------------------------- maintenance
     def clflush(self, paddr: int) -> None:
         """Flush one cache line by physical address."""

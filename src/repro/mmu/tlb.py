@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterator, Optional
 
 from ..clock import SimClock
 from ..errors import ConfigError
@@ -76,6 +76,22 @@ class Tlb:
             return entry
         self.misses += 1
         return None
+
+    def peek(self, vaddr: int) -> Optional[TlbEntry]:
+        """Side-effect-free lookup: no time, no LRU movement, no stats.
+
+        Instrumentation for the TLB sanitizer and tests — the equivalent
+        of probing the structure with a debugger rather than the CPU.
+        """
+        entry = self._small.get(vaddr >> PAGE_SHIFT)
+        if entry is not None:
+            return entry
+        return self._huge.get(vaddr >> HUGE_2M_SHIFT)
+
+    def entries(self) -> Iterator[TlbEntry]:
+        """Every cached translation, 4 KiB then 2 MiB (instrumentation)."""
+        yield from self._small.values()
+        yield from self._huge.values()
 
     # --------------------------------------------------------------- fill
     def fill(self, vaddr: int, entry: TlbEntry) -> None:

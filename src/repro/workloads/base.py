@@ -22,13 +22,13 @@ excess over the vanilla run *is* the measured overhead.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..clock import NS_PER_MS
 from ..errors import ConfigError
 from ..kernel.vma import PAGE
+from ..rng import derive_rng
 
 
 @dataclass(frozen=True)
@@ -97,7 +97,7 @@ class SliceWorkload:
         """Execute the workload; returns its measured result."""
         kernel = self.kernel
         prof = self.profile
-        rng = random.Random(f"workload:{prof.name}:{self.seed}")
+        rng = derive_rng("workload", prof.name, self.seed)
         process = kernel.create_process(prof.name)
         base = kernel.mmap(process, prof.cold_pool_pages * PAGE,
                            name=f"{prof.name}-ws")

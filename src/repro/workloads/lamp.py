@@ -20,13 +20,13 @@ protected/traced page counts for Fig. 5.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from ..clock import NS_PER_MS
 from ..kernel.process import Process
 from ..kernel.vma import PAGE
+from ..rng import derive_rng
 
 NS_PER_MINUTE = 60 * 1000 * NS_PER_MS
 
@@ -63,7 +63,7 @@ class LampSimulation:
     def __init__(self, kernel, seed: int = 60, workers: int = 4,
                  requests_per_minute: int = 30) -> None:
         self.kernel = kernel
-        self.rng = random.Random(f"lamp:{seed}")
+        self.rng = derive_rng("lamp", seed)
         self.workers = workers
         self.requests_per_minute = requests_per_minute
         self._region_counter = 0

@@ -15,13 +15,13 @@ through all twenty.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from ..errors import ReproError
 from ..kernel.syscalls import SyscallTable
 from ..kernel.vma import PAGE
+from ..rng import derive_rng
 
 
 @dataclass
@@ -210,13 +210,19 @@ LTP_STRESS_TESTS: Dict[str, Tuple[str, Callable, int]] = {
 
 
 def run_stress_test(kernel, name: str,
-                    iterations: Optional[int] = None) -> StressResult:
-    """Run one Table V stress driver on a fresh process."""
+                    iterations: Optional[int] = None,
+                    seed: Optional[int] = None) -> StressResult:
+    """Run one Table V stress driver on a fresh process.
+
+    ``seed`` varies the driver's random stream; the default (None)
+    keeps the historical per-test stream so existing runs reproduce.
+    """
     category, driver, default_iters = LTP_STRESS_TESTS[name]
     n = iterations if iterations is not None else default_iters
     sys = SyscallTable(kernel)
     proc = kernel.create_process(f"ltp-{name}")
-    rng = random.Random(f"ltp:{name}")
+    rng = derive_rng("ltp", name) if seed is None \
+        else derive_rng("ltp", name, seed)
     try:
         driver(kernel, sys, proc, n, rng)
     except (ReproError, AssertionError) as exc:

@@ -3,15 +3,22 @@
 These exercise the full Figure 1 pipeline — collection, adjacency,
 arming, RSVD-fault capture, charge-leak counting and row refresh —
 against the tiny test machine.
+
+Every kernel built here runs with the runtime sanitizers installed in
+strict mode (:mod:`repro.checkers.sanitizers`), so a passing suite also
+proves the whole pipeline keeps the tracer/PTE/TLB/row invariants —
+any desync raises :class:`SanitizerViolationError` at the offending
+checkpoint.
 """
 
 import pytest
 
+from repro.checkers.sanitizers import install_sanitizers
 from repro.clock import NS_PER_MS
 from repro.config import tiny_machine
 from repro.core.profile import SoftTrrParams
 from repro.core.softtrr import SoftTrr
-from repro.errors import KernelPanic, SoftTrrError
+from repro.errors import KernelPanic, SanitizerViolationError, SoftTrrError
 from repro.kernel.kernel import Kernel
 from repro.kernel.vma import PAGE
 from repro.mmu import bits
@@ -28,6 +35,7 @@ def build(params=None, *, premap=True):
             kernel.user_write(proc, base + i * PAGE, bytes([i]))
     softtrr = SoftTrr(params or SoftTrrParams())
     kernel.load_module("softtrr", softtrr)
+    install_sanitizers(kernel, strict=True)
     return kernel, proc, base, softtrr
 
 
@@ -210,6 +218,53 @@ class TestUnload:
         assert stats.protected_pages == softtrr.collector.protected_count()
         assert stats.ringbuf_bytes == pytest.approx(396 * 1024, abs=64)
         assert stats.memory_bytes == stats.tree_bytes + stats.ringbuf_bytes
+
+
+class TestSanitizedPipeline:
+    """The sanitizers both bless the clean pipeline and catch desyncs."""
+
+    def test_full_pipeline_runs_clean_under_sanitizers(self):
+        kernel, proc, base, softtrr = build()
+        for _ in range(4):
+            kernel.clock.advance(NS_PER_MS)
+            kernel.dispatch_timers()
+            vaddr = find_adjacent_user_vaddr(kernel, proc, base, softtrr)
+            kernel.user_read(proc, vaddr, 1)
+        report = kernel.sanitizers.checkpoint()
+        assert len(report) == 0
+        assert report.checkpoints >= 4
+
+    def test_forced_tracker_desync_is_caught(self):
+        """Drop an armed record behind the tracer's back: the marked
+        PTE is now orphaned and the pte sanitizer must say which one."""
+        kernel, proc, base, softtrr = build()
+        kernel.clock.advance(NS_PER_MS)
+        kernel.dispatch_timers()
+        assert softtrr.tracer._armed
+        pte_paddr = next(iter(softtrr.tracer._armed))
+        del softtrr.tracer._armed[pte_paddr]
+        with pytest.raises(SanitizerViolationError) as excinfo:
+            kernel.sanitizers.checkpoint()
+        assert "orphaned mark" in str(excinfo.value)
+        assert f"{pte_paddr:#x}" in str(excinfo.value)
+
+    def test_forced_pte_desync_is_caught(self):
+        """Clear the RSVD bit via raw_write_entry (bypassing the choke
+        point): the tracer now tracks a lost mark."""
+        kernel, proc, base, softtrr = build()
+        kernel.clock.advance(NS_PER_MS)
+        kernel.dispatch_timers()
+        assert softtrr.tracer._armed
+        pte_paddr = next(iter(softtrr.tracer._armed))
+        pt_ops = kernel.mmu.pt_ops
+        table_ppn = pte_paddr >> bits.PAGE_SHIFT
+        index = (pte_paddr & (PAGE - 1)) // 8
+        entry = pt_ops.raw_read_entry(table_ppn, index)
+        pt_ops.raw_write_entry(table_ppn, index,
+                               entry & ~bits.PTE_RSVD_TRACE)
+        with pytest.raises(SanitizerViolationError) as excinfo:
+            kernel.sanitizers.checkpoint()
+        assert "lost mark" in str(excinfo.value)
 
 
 class TestPresentBitTracer:
