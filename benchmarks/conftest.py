@@ -12,6 +12,15 @@ import pytest
 
 FULL = os.environ.get("REPRO_FULL", "0") == "1"
 
+#: ``REPRO_BATCH=0`` forces every bench through the scalar execution
+#: paths (``repro.batching.batch_enabled`` reads the environment at
+#: call time, so exporting the variable is all it takes).  The batched
+#: paths are asserted semantically identical by the differential suite,
+#: so this knob changes wall time only — it exists to measure the
+#: batching layer's payoff and to bisect any suspected divergence.
+BATCH = os.environ.get("REPRO_BATCH", "1").strip().lower() not in (
+    "0", "false", "no", "off")
+
 
 def scale(small, full):
     """Pick a parameter by scale mode."""

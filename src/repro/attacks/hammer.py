@@ -24,8 +24,9 @@ arithmetic that puts the minimum time-to-first-flip just above 1 ms.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
+from ..batching import batch_enabled
 from ..errors import AttackError
 from ..kernel.process import Process
 
@@ -40,10 +41,14 @@ class HammerKit:
     """Hammering primitives bound to one (kernel, process) pair."""
 
     def __init__(self, kernel, process: Process,
-                 extra_ns: int = DEFAULT_EXTRA_NS) -> None:
+                 extra_ns: int = DEFAULT_EXTRA_NS,
+                 use_batch: Optional[bool] = None) -> None:
         self.kernel = kernel
         self.process = process
         self.extra_ns = extra_ns
+        #: None = consult the ``REPRO_BATCH`` knob at each hammer call;
+        #: True/False pins the burst path (differential tests pin both).
+        self.use_batch = use_batch
         self.total_activations = 0
 
     # ------------------------------------------------------------ helpers
@@ -72,6 +77,8 @@ class HammerKit:
         if iterations <= 0:
             return
         kernel = self.kernel
+        use_batch = (batch_enabled() if self.use_batch is None
+                     else self.use_batch)
         paddrs = [self.paddr_of(va) for va in vaddrs]
         done = 0
         while done < iterations:
@@ -83,8 +90,12 @@ class HammerKit:
                 kernel.user_read(self.process, vaddr, 8)
                 if n > 1:
                     # The rest of the batch: same physics, batched.
-                    kernel.dram.hammer(paddr, n - 1)
-                    kernel.clock.advance((n - 1) * self.extra_ns)
+                    if use_batch:
+                        kernel.dram.hammer_batch(
+                            [(paddr, n - 1)], extra_ns=self.extra_ns)
+                    else:
+                        kernel.dram.hammer(paddr, n - 1)
+                        kernel.clock.advance((n - 1) * self.extra_ns)
                 self.total_activations += n
             if per_iter_delay_ns:
                 kernel.clock.advance(n * per_iter_delay_ns)

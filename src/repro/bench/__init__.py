@@ -1,0 +1,19 @@
+"""Host-throughput benchmarks of the simulator itself.
+
+Everything else in the repo measures *simulated* time on
+:class:`repro.clock.SimClock`; this package is the one sanctioned home
+of wall-clock reads (lint rule RPR001 allows ``repro/bench/``), because
+here the host wall time *is* the measurand: how many simulated DRAM
+activations, workload slices and full evaluation runs a second of host
+CPU buys.  The numbers quantify the payoff of the batched execution
+layer (``DramModule.hammer_batch``, ``Mmu.access_run``), whose
+*semantic* equivalence to the scalar paths is enforced separately by
+``tests/perf/test_differential_equivalence.py``.
+
+Run ``repro-perfbench`` (or ``python -m repro.bench.perf``) to produce
+``BENCH_perf.json``; see README's Performance section for how to read
+it.  The module is intentionally not imported here so ``python -m``
+execution stays warning-free.
+"""
+
+__all__: list = []

@@ -1,0 +1,208 @@
+"""``repro-perfbench``: wall-clock throughput of the simulation stack.
+
+Three benchmarks, each timing the same simulated work through the
+scalar and the batched execution paths:
+
+* **hammer** — raw DRAM activation throughput on the ``thinkpad_x230``
+  profile: a scalar ``DramModule.hammer`` loop vs one
+  ``DramModule.hammer_batch`` call, for a one-location stream and a
+  double-sided (alternating-aggressor) stream.  The acceptance bar for
+  the batched layer is >= 5x on the one-location stream.
+* **workload** — slices/second of a memory-bound
+  :class:`~repro.workloads.base.SliceWorkload` (``hot_touch_repeat`` >
+  1), scalar vs the :meth:`Kernel.user_access_run` replay path.
+* **table5** — end-to-end wall runtime of the Table V robustness
+  evaluation (the heaviest whole-stack consumer in the repo).
+
+Every scalar/batched pair is run on freshly built machines and
+cross-checked on its simulated observables (clock, activations, flips)
+— a cheap guard; the exhaustive byte-level guarantee lives in
+``tests/perf/test_differential_equivalence.py``.  Results are printed
+and written to ``BENCH_perf.json`` (see README's Performance section).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Callable, Dict, Optional
+
+from ..config import machine
+from ..kernel.kernel import Kernel
+from ..workloads.base import SliceWorkload, WorkloadProfile
+
+#: Machine profile the microbenchmarks run on (DDR3, no ChipTRR — the
+#: pure disturbance-engine cost, matching the paper's oldest testbed).
+BENCH_MACHINE = "thinkpad_x230"
+
+
+def _timed(fn: Callable[[], object]) -> float:
+    """Wall seconds one call takes (bench code: RPR001-sanctioned)."""
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _dram_observables(dram) -> tuple:
+    return (
+        dram.clock.now_ns,
+        dram.total_activations,
+        len(dram.flip_log),
+        dram.applied_flips,
+        dram.engine.total_deposits,
+    )
+
+
+def _hammer_case(label: str, items, activations: int) -> Dict[str, object]:
+    """Time one scalar-loop vs one batched replay of ``items``."""
+    scalar_dram = Kernel(machine(BENCH_MACHINE)).dram
+    batched_dram = Kernel(machine(BENCH_MACHINE)).dram
+
+    def scalar() -> None:
+        for paddr, count in items:
+            scalar_dram.hammer(paddr, count)
+
+    scalar_s = _timed(scalar)
+    batched_s = _timed(lambda: batched_dram.hammer_batch(items))
+    if _dram_observables(scalar_dram) != _dram_observables(batched_dram):
+        raise AssertionError(
+            f"hammer[{label}]: batched run diverged from scalar run; "
+            "the differential suite should be failing too"
+        )
+    return {
+        "label": label,
+        "activations": activations,
+        "scalar_seconds": round(scalar_s, 4),
+        "batched_seconds": round(batched_s, 4),
+        "scalar_act_per_s": round(activations / scalar_s),
+        "batched_act_per_s": round(activations / batched_s),
+        "speedup": round(scalar_s / batched_s, 2),
+    }
+
+
+def bench_hammer(quick: bool) -> Dict[str, object]:
+    """Activation throughput, one-location and double-sided streams."""
+    n = 15_000 if quick else 60_000
+    dram = Kernel(machine(BENCH_MACHINE)).dram
+    one_loc = dram.mapping.dram_to_phys(0, 30, 0)
+    left = dram.mapping.dram_to_phys(0, 29, 0)
+    right = dram.mapping.dram_to_phys(0, 31, 0)
+    cases = [
+        _hammer_case("one_location", [(one_loc, 1)] * n, n),
+        _hammer_case("double_sided",
+                     [(left, 1), (right, 1)] * (n // 2), n),
+    ]
+    return {"machine": BENCH_MACHINE, "cases": cases}
+
+
+def bench_workload(quick: bool) -> Dict[str, object]:
+    """Slices/second of a memory-bound workload, scalar vs replay."""
+    profile = WorkloadProfile(
+        name="perfbench-memlat",
+        duration_ms=20 if quick else 60,
+        hot_pages=12,
+        cold_pool_pages=64,
+        cold_touches=4,
+        write_fraction=0.3,
+        hot_touch_repeat=16,
+    )
+    seconds = {}
+    results = {}
+    for mode, use_batch in (("scalar", False), ("batched", True)):
+        kernel = Kernel(machine(BENCH_MACHINE))
+        work = SliceWorkload(kernel, profile, seed=1234, use_batch=use_batch)
+        seconds[mode] = _timed(lambda: results.__setitem__(mode, work.run()))
+    if (results["scalar"].runtime_ns != results["batched"].runtime_ns
+            or results["scalar"].touches != results["batched"].touches):
+        raise AssertionError(
+            "workload: batched run diverged from scalar run; "
+            "the differential suite should be failing too"
+        )
+    return {
+        "machine": BENCH_MACHINE,
+        "profile": profile.name,
+        "slices": profile.duration_ms,
+        "hot_touch_repeat": profile.hot_touch_repeat,
+        "scalar_seconds": round(seconds["scalar"], 4),
+        "batched_seconds": round(seconds["batched"], 4),
+        "scalar_slices_per_s": round(
+            profile.duration_ms / seconds["scalar"], 1),
+        "batched_slices_per_s": round(
+            profile.duration_ms / seconds["batched"], 1),
+        "speedup": round(seconds["scalar"] / seconds["batched"], 2),
+    }
+
+
+def bench_table5(quick: bool) -> Dict[str, object]:
+    """End-to-end wall runtime of the Table V evaluation."""
+    from ..analysis.robustness import run_table5
+
+    iterations = 1 if quick else 3
+    rows = []
+    seconds = _timed(
+        lambda: rows.extend(run_table5(iterations=iterations)))
+    return {
+        "iterations": iterations,
+        "rows": len(rows),
+        "all_pass": all(r.vanilla and r.delta1 and r.delta6 for r in rows),
+        "wall_seconds": round(seconds, 2),
+    }
+
+
+def run_benchmarks(quick: bool = False) -> Dict[str, object]:
+    """Run the whole suite; returns the ``BENCH_perf.json`` payload."""
+    return {
+        "bench": "repro-perfbench",
+        "quick": quick,
+        "hammer": bench_hammer(quick),
+        "workload": bench_workload(quick),
+        "table5": bench_table5(quick),
+    }
+
+
+def _render(payload: Dict[str, object]) -> str:
+    lines = [f"repro-perfbench ({'quick' if payload['quick'] else 'full'})"]
+    for case in payload["hammer"]["cases"]:
+        lines.append(
+            "  hammer/{label:<13} scalar {scalar_act_per_s:>9,} act/s   "
+            "batched {batched_act_per_s:>10,} act/s   {speedup:>6}x"
+            .format(**case))
+    wl = payload["workload"]
+    lines.append(
+        "  workload          scalar {scalar_slices_per_s:>9,} sl/s    "
+        "batched {batched_slices_per_s:>10,} sl/s    {speedup:>6}x"
+        .format(**wl))
+    t5 = payload["table5"]
+    lines.append(
+        f"  table5            {t5['rows']} tests x {t5['iterations']} iter "
+        f"in {t5['wall_seconds']} s "
+        f"({'all pass' if t5['all_pass'] else 'FAILURES'})")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point (``repro-perfbench``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-perfbench",
+        description="Wall-clock throughput of the simulation stack "
+                    "(scalar vs batched execution paths).",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized run (fewer activations/slices/iterations)")
+    parser.add_argument(
+        "--out", default="BENCH_perf.json",
+        help="output JSON path (default: %(default)s)")
+    args = parser.parse_args(argv)
+    payload = run_benchmarks(quick=args.quick)
+    print(_render(payload))
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"[saved to {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,12 +34,25 @@ and the security evaluation depend on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import ConfigError
 from ..rng import derive_rng
 from .geometry import DramGeometry
 from .remap import IdentityRemap, RowRemap
+
+
+def crosses(before: float, threshold: float, after: float) -> bool:
+    """Whether an accumulator step ``before -> after`` fires a cell.
+
+    The intended boundary semantics, pinned by the regression tests in
+    ``tests/dram/test_deposit_boundary.py``: a cell fires on the deposit
+    that first *reaches* its threshold (``after == threshold`` flips) and
+    never re-fires while the accumulator sits at or above it
+    (``before == threshold`` does not flip again) — i.e. exactly
+    ``before < threshold <= after``.
+    """
+    return before < threshold <= after
 
 
 @dataclass(frozen=True)
@@ -124,6 +137,14 @@ class DisturbanceEngine:
         self._acc: Dict[Tuple[int, int], List[float]] = {}
         # (bank, row) -> tuple of VulnerableCell (lazily generated, cached)
         self._cells: Dict[Tuple[int, int], Tuple[VulnerableCell, ...]] = {}
+        # Keys of rows known to have at least one cell: a cheap set the
+        # batched paths probe instead of re-deriving cell tuples.
+        self._vulnerable: Set[Tuple[int, int]] = set()
+        # (bank, row) -> cached victim plan (see victim_plan()).
+        self._plans: Dict[
+            Tuple[int, int],
+            Tuple[Tuple[int, float, Tuple[VulnerableCell, ...]], ...],
+        ] = {}
         self.total_deposits = 0
         self.total_flip_events = 0
 
@@ -154,10 +175,17 @@ class DisturbanceEngine:
             cells.sort(key=lambda c: c.threshold)
         result = tuple(cells)
         self._cells[key] = result
+        if result:
+            self._vulnerable.add(key)
         return result
 
     def is_vulnerable(self, bank: int, row: int) -> bool:
         """Whether the row has any flippable cell."""
+        key = (bank, row)
+        if key in self._vulnerable:
+            return True
+        if key in self._cells:
+            return False
         return bool(self.vulnerable_cells(bank, row))
 
     def min_threshold(self, bank: int, row: int) -> Optional[float]:
@@ -194,7 +222,7 @@ class DisturbanceEngine:
         self.total_deposits += 1
         flips: List[FlipEvent] = []
         for cell in self.vulnerable_cells(bank, row):
-            if before < cell.threshold <= after:
+            if crosses(before, cell.threshold, after):
                 flips.append(
                     FlipEvent(
                         bank=bank,
@@ -225,6 +253,59 @@ class DisturbanceEngine:
             for victim in self.remap.neighbors_at(row, distance):
                 flips.extend(self.deposit(bank, victim, units, epoch, now_ns))
         return flips
+
+    def deposit_batch(
+        self, bank: int, row: int, units: float, count: int,
+        epoch: int, now_ns: int,
+    ) -> List[FlipEvent]:
+        """``count`` equal deposits of ``units`` into (bank, row) at once.
+
+        Equivalent to ``count`` successive :meth:`deposit` calls at the
+        same timestamp.  For rows with no vulnerable cells the per-cell
+        scan and the per-deposit accumulator walk are skipped entirely:
+        the row can never flip, so its accumulator only needs the fused
+        sum (``units * count``), which may differ from the sequential
+        float sum in the last ULPs — the one sanctioned relaxation of
+        the batching invariant (see DESIGN.md).
+        """
+        if count <= 0 or units <= 0:
+            return []
+        if row < 0 or row >= self.geometry.rows_per_bank:
+            return []
+        if not self.is_vulnerable(bank, row):
+            bucket = self._bucket(bank, row, epoch)
+            bucket[1] += units * count
+            self.total_deposits += count
+            return []
+        flips: List[FlipEvent] = []
+        for _ in range(count):
+            flips.extend(self.deposit(bank, row, units, epoch, now_ns))
+        return flips
+
+    def victim_plan(
+        self, bank: int, row: int
+    ) -> Tuple[Tuple[int, float, Tuple[VulnerableCell, ...]], ...]:
+        """The victims one activation of (bank, row) disturbs, in the
+        exact order :meth:`on_activate` deposits into them.
+
+        Each entry is ``(victim_row, weight, cells)``.  The plan is a
+        pure function of the geometry/remap/seed, so it is cached; the
+        batched hammer path iterates it instead of re-walking
+        ``neighbors_at`` per activation.
+        """
+        key = (bank, row)
+        plan = self._plans.get(key)
+        if plan is None:
+            entries: List[Tuple[int, float, Tuple[VulnerableCell, ...]]] = []
+            for distance in range(1, self.params.max_distance + 1):
+                weight = self.params.weight(distance)
+                for victim in self.remap.neighbors_at(row, distance):
+                    entries.append(
+                        (victim, weight, self.vulnerable_cells(bank, victim))
+                    )
+            plan = tuple(entries)
+            self._plans[key] = plan
+        return plan
 
     def heal(self, bank: int, row: int) -> None:
         """Refresh (recharge) a row: accumulated disturbance is cleared."""

@@ -24,6 +24,7 @@ Two access planes are provided:
 
 from __future__ import annotations
 
+from itertools import repeat
 from typing import Dict, List, Optional, Tuple
 
 from ..clock import SimClock
@@ -127,6 +128,312 @@ class DramModule:
             latency = self.timings.hit_latency_ns
         self.clock.advance(latency)
         return latency
+
+    def hammer_batch(
+        self,
+        items,
+        origin: str = "data",
+        extra_ns: int = 0,
+    ) -> None:
+        """Replay a sequence of :meth:`hammer` calls in one batched pass.
+
+        ``items`` is a sequence of ``(paddr, count)`` pairs.  The batch
+        is *semantically identical* to the scalar loop ::
+
+            for paddr, count in items:
+                self.hammer(paddr, count, origin=origin)
+                self.clock.advance(count * extra_ns)
+
+        — identical DRAM bytes, identical ``FlipEvent`` stream (including
+        ``at_ns``), identical TRR/bank/engine counters and identical
+        simulated time, as enforced by the differential equivalence
+        suite.  The speed comes from aggregating per-(bank, row) work:
+
+        * victims that can actually flip — and every aggressor row, and
+          every victim when ChipTRR is enabled (its mid-batch refreshes
+          interleave with deposits) — are replayed deposit-by-deposit,
+          preserving flip ordering via per-cell threshold crossings;
+        * the remaining victims are invulnerable bookkeeping-only rows:
+          their accumulators take one fused ``weight * total_count`` add
+          per aggressor at the end of the batch (the sanctioned
+          last-ULP relaxation, see DESIGN.md), and pending sums are
+          dropped at refresh-epoch rollovers exactly as the scalar
+          path's lazy heal discards them.
+        """
+        timings = self.timings
+        window = timings.refresh_window_ns
+        per_act_ns = timings.conflict_latency_ns + extra_ns
+        engine = self.engine
+        trr_enabled = self.trr.params.enabled
+        trr_on = self.trr.on_activate
+        open_page = self.row_policy is RowBufferPolicy.OPEN_PAGE
+        recent_append = self.recent_activations.append
+
+        resolved = []  # ((bank, row), count) with count > 0
+        paddr_cache: Dict[int, Tuple[int, int]] = {}
+        for paddr, count in items:
+            if count <= 0:
+                continue
+            key = paddr_cache.get(paddr)
+            if key is None:
+                dram = self.mapping.phys_to_dram(paddr)
+                key = (dram.bank, dram.row)
+                paddr_cache[paddr] = key
+            resolved.append((key, count))
+        if not resolved:
+            return
+
+        aggressors = {key for key, _ in resolved}
+        acc = engine._acc
+        now = self.clock.now_ns
+        start_ns = now
+        epoch = timings.refresh_epoch(now)
+        boundary = (epoch + 1) * window
+
+        # Per-aggressor plans.  Exact victims get their bucket resolved
+        # up front (the first scalar deposit would create it with the
+        # same epoch anyway); summed victims are flushed at the end.
+        plans = {}
+        for key in aggressors:
+            bank, row = key
+            exact = []   # (bucket, weight, cells, first_threshold, victim)
+            summed = []  # ((bank, victim), weight)
+            for victim, weight, cells in engine.victim_plan(bank, row):
+                if cells or (bank, victim) in aggressors or trr_enabled:
+                    bucket = engine._bucket(bank, victim, epoch)
+                    first = cells[0].threshold if cells else 0.0
+                    exact.append((bucket, weight, cells, first, victim))
+                else:
+                    summed.append(((bank, victim), weight))
+            plans[key] = [None, exact, summed, 0, len(exact) + len(summed)]
+        for key in aggressors:
+            # Own-row heal target: only a bucket that exists by now can
+            # ever be healed during the batch (heal never creates one).
+            plans[key][0] = acc.get(key)
+
+        flips: List[FlipEvent] = []
+        deposits = 0
+        acts = 0
+        bank_totals: Dict[int, int] = {}
+        bank_last: Dict[int, int] = {}
+        recent_extend = self.recent_activations.extend
+        infinity = float("inf")
+        i = 0
+        n_items = len(resolved)
+        while i < n_items:
+            item = resolved[i]
+            key, count = item
+            step = count * per_act_ns
+            j = i + 1
+            if not trr_enabled and step > 0:
+                # Runs of identical items (the hammer-loop shape) replay
+                # through tight per-victim accumulator loops below.
+                while j < n_items and resolved[j] == item:
+                    j += 1
+            bank, row = key
+            plan = plans[key]
+            if j == i + 1:
+                # Single item (or ChipTRR interleaving): per-item replay.
+                if now >= boundary:
+                    epoch = timings.refresh_epoch(now)
+                    boundary = (epoch + 1) * window
+                    for p in plans.values():
+                        # The scalar path's lazy heal would discard these
+                        # old-epoch sums at the victims' next touch.
+                        p[3] = 0
+                own = plan[0]
+                if own is not None:
+                    own[1] = 0.0
+                for bucket, weight, cells, first, victim in plan[1]:
+                    if bucket[0] != epoch:
+                        bucket[0] = epoch
+                        bucket[1] = 0.0
+                    before = bucket[1]
+                    after = before + weight * count
+                    bucket[1] = after
+                    if cells and after >= first:
+                        for cell in cells:
+                            if before < cell.threshold <= after:
+                                flips.append(FlipEvent(
+                                    bank=bank,
+                                    row=victim,
+                                    bit_offset=cell.bit_offset,
+                                    from_value=cell.from_value,
+                                    at_ns=now,
+                                ))
+                plan[3] += count
+                deposits += plan[4]
+                if trr_enabled:
+                    trr_on(bank, row, count, epoch)
+                recent_append((bank, row, origin))
+                acts += count
+                now += step
+                bank_totals[bank] = bank_totals.get(bank, 0) + count
+                bank_last[bank] = row
+                i = j
+                continue
+            # Run fast path: r identical activations of one aggressor in
+            # a row.  No other aggressor activates inside the run, so no
+            # heal interleaves: each victim accumulator takes the same
+            # sequential adds as the scalar loop (walked in a tight loop
+            # per victim), the aggressor's own per-item heal collapses to
+            # one idempotent heal, and cell-less victims — invulnerable
+            # rows — take the sanctioned fused add.  Flips are re-sorted
+            # into scalar (item-major, victim-minor) order by their
+            # strictly increasing timestamps.
+            remaining = j - i
+            own = plan[0]
+            if own is not None:
+                own[1] = 0.0
+            exact = plan[1]
+            per_run_deposits = plan[4]
+            while remaining:
+                if now >= boundary:
+                    epoch = timings.refresh_epoch(now)
+                    boundary = (epoch + 1) * window
+                    for p in plans.values():
+                        p[3] = 0
+                # Items whose pre-item rollover check stays quiet: those
+                # with now + k*step < boundary.
+                r = (boundary - now + step - 1) // step
+                if r > remaining:
+                    r = remaining
+                run_flips = []
+                for e_idx, (bucket, weight, cells, first, victim) in (
+                        enumerate(exact)):
+                    if bucket[0] != epoch:
+                        bucket[0] = epoch
+                        bucket[1] = 0.0
+                    add = weight * count
+                    value = bucket[1]
+                    if not cells:
+                        value += add * r
+                        bucket[1] = value
+                        continue
+                    at = now
+                    for _ in range(r):
+                        before = value
+                        value += add
+                        if value >= first:
+                            for cell in cells:
+                                if before < cell.threshold <= value:
+                                    run_flips.append((at, e_idx, FlipEvent(
+                                        bank=bank,
+                                        row=victim,
+                                        bit_offset=cell.bit_offset,
+                                        from_value=cell.from_value,
+                                        at_ns=at,
+                                    )))
+                            # Cells at or below the accumulator can never
+                            # re-fire this epoch; track the next one up.
+                            first = infinity
+                            for cell in cells:
+                                if cell.threshold > value:
+                                    first = cell.threshold
+                                    break
+                        at += step
+                    bucket[1] = value
+                if run_flips:
+                    run_flips.sort(key=lambda rf: (rf[0], rf[1]))
+                    flips.extend(rf[2] for rf in run_flips)
+                plan[3] += count * r
+                deposits += per_run_deposits * r
+                recent_extend(repeat((bank, row, origin), r))
+                acts += count * r
+                now += r * step
+                remaining -= r
+            bank_totals[bank] = bank_totals.get(bank, 0) + count * (j - i)
+            bank_last[bank] = row
+            i = j
+
+        # Fused accumulator flush for the invulnerable summed victims.
+        for plan in plans.values():
+            pending = plan[3]
+            if not pending:
+                continue
+            for vkey, weight in plan[2]:
+                bucket = acc.get(vkey)
+                if bucket is None:
+                    acc[vkey] = [epoch, weight * pending]
+                elif bucket[0] != epoch:
+                    bucket[0] = epoch
+                    bucket[1] = weight * pending
+                else:
+                    bucket[1] += weight * pending
+
+        engine.total_deposits += deposits
+        engine.total_flip_events += len(flips)
+        self._apply_flips(flips)
+        self.total_activations += acts
+
+        for bank, total in bank_totals.items():
+            state = self._banks[bank]
+            state.activations += total
+            state.open_row = bank_last[bank] if open_page else None
+
+        self.clock.advance(now - start_ns)
+
+    def access_batch(self, paddrs) -> None:
+        """Batched line transactions: ``for p in paddrs:
+        self._transact_line(p)``, with consecutive repeats of the same
+        line collapsed into a :meth:`BankState.hit_run` under the
+        open-page policy (a repeat of the just-opened row is always a
+        row-buffer hit, so no disturbance/TRR work is involved)."""
+        n = len(paddrs)
+        open_page = self.row_policy is RowBufferPolicy.OPEN_PAGE
+        hit_ns = self.timings.hit_latency_ns
+        i = 0
+        while i < n:
+            paddr = paddrs[i]
+            j = i + 1
+            while j < n and paddrs[j] == paddr:
+                j += 1
+            run = j - i
+            self._transact_line(paddr)
+            if run > 1:
+                dram = self.mapping.phys_to_dram(paddr)
+                state = self._banks[dram.bank]
+                if open_page and state.open_row == dram.row:
+                    state.hit_run(dram.row, run - 1)
+                    self.clock.advance((run - 1) * hit_ns)
+                else:
+                    for _ in range(run - 1):
+                        self._transact_line(paddr)
+            i = j
+
+    def write_run(self, paddr: int, payload: bytes, count: int) -> bool:
+        """Replay ``count`` identical architectural writes of ``payload``.
+
+        Equivalent to ``for _ in range(count): self.write(paddr,
+        payload)`` when every line of the span is a row-buffer hit for
+        the whole run; returns False (having changed nothing) when that
+        cannot be guaranteed — closed-page policy, a line whose row is
+        not open, or two different rows of one bank in the span (they
+        would conflict-ping-pong).  The caller then falls back to the
+        scalar path.
+        """
+        if count <= 0:
+            return True
+        if self.row_policy is not RowBufferPolicy.OPEN_PAGE:
+            return False
+        plan = []
+        bank_rows: Dict[int, int] = {}
+        for line_paddr, _offset, _chunk in self._lines(paddr, len(payload)):
+            dram = self.mapping.phys_to_dram(line_paddr)
+            state = self._banks[dram.bank]
+            if state.open_row != dram.row:
+                return False
+            seen = bank_rows.get(dram.bank)
+            if seen is not None and seen != dram.row:
+                return False
+            bank_rows[dram.bank] = dram.row
+            plan.append((state, dram.row))
+        for state, row in plan:
+            state.hit_run(row, count)
+        self.writes += count
+        self.raw_write(paddr, payload)  # same bytes every repetition
+        self.clock.advance(len(plan) * count * self.timings.hit_latency_ns)
+        return True
 
     def hammer(self, paddr: int, count: int, origin: str = "data") -> None:
         """``count`` forced row activations of the row holding ``paddr``.

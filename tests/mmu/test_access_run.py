@@ -1,0 +1,235 @@
+"""Tests for the batched access-replay path (``Mmu.access_run``).
+
+The replay translates once per page and replays N same-page touches
+without re-walking — but only while that is provably equivalent to the
+scalar loop: TLB entry present and permitting, every line cached, and
+(stores) a guaranteed row-buffer hit.  These tests pin the refusal
+cases (no side effects), the accounting of the engaged path, and the
+TLB fill/invalidate interplay when a page is invlpg'd mid-run.
+"""
+
+from repro.clock import SimClock
+from repro.config import machine, tiny_machine
+from repro.kernel.kernel import Kernel
+from repro.kernel.vma import PAGE
+from repro.mmu import bits
+from repro.mmu.cache import CpuCache
+from repro.mmu.tlb import Tlb, TlbEntry
+
+from .helpers import MmuBed
+
+
+def _entry(ppn=3, flags=None, leaf_level=1):
+    if flags is None:
+        flags = bits.PTE_PRESENT | bits.PTE_RW | bits.PTE_USER
+    return TlbEntry(ppn=ppn, flags=flags, leaf_level=leaf_level,
+                    pte_paddr=0x1000)
+
+
+class TestTlbHitRun:
+    def test_counts_hits_and_time(self):
+        clock = SimClock()
+        tlb = Tlb(clock, hit_ns=2)
+        tlb.fill(0x4000, _entry())
+        assert tlb.hit_run(0x4000, 5)
+        assert tlb.hits == 5
+        assert clock.now_ns == 10
+
+    def test_miss_returns_false_without_effects(self):
+        clock = SimClock()
+        tlb = Tlb(clock, hit_ns=2)
+        assert not tlb.hit_run(0x4000, 5)
+        assert tlb.hits == 0
+        assert tlb.misses == 0
+        assert clock.now_ns == 0
+
+    def test_nonpositive_count_is_a_noop_success(self):
+        tlb = Tlb(SimClock())
+        tlb.fill(0x4000, _entry())
+        assert tlb.hit_run(0x4000, 0)
+        assert tlb.hits == 0
+
+    def test_refreshes_lru_position(self):
+        clock = SimClock()
+        tlb = Tlb(clock, capacity_4k=2)
+        tlb.fill(0x4000, _entry(ppn=1))
+        tlb.fill(0x8000, _entry(ppn=2))
+        tlb.hit_run(0x4000, 3)     # 0x4000 becomes MRU
+        tlb.fill(0xC000, _entry(ppn=3))  # evicts 0x8000, not 0x4000
+        assert tlb.peek(0x4000) is not None
+        assert tlb.peek(0x8000) is None
+
+    def test_invlpg_then_hit_run_misses(self):
+        """The mid-run invalidation shape: the replay must refuse."""
+        tlb = Tlb(SimClock())
+        tlb.fill(0x4000, _entry())
+        assert tlb.hit_run(0x4000, 1)
+        tlb.invlpg(0x4000)
+        assert not tlb.hit_run(0x4000, 1)
+        assert tlb.invalidations == 1
+
+
+class TestCacheHitRun:
+    def test_all_lines_present(self):
+        clock = SimClock()
+        cache = CpuCache(clock, hit_ns=1)
+        for line in (0x0, 0x40):
+            cache._insert(line)
+        assert cache.hit_run(0x10, 0x50, 4)  # spans both lines
+        assert cache.hits == 8
+        assert clock.now_ns == 8
+
+    def test_missing_line_refuses_without_effects(self):
+        clock = SimClock()
+        cache = CpuCache(clock, hit_ns=1)
+        cache._insert(0x0)
+        assert not cache.hit_run(0x10, 0x50, 4)
+        assert cache.hits == 0
+        assert clock.now_ns == 0
+
+    def test_touch_span_moves_to_mru_silently(self):
+        clock = SimClock()
+        cache = CpuCache(clock, capacity_lines=2)
+        cache._insert(0x0)
+        cache._insert(0x40)
+        cache.touch_span(0x0, 8)   # 0x0 becomes MRU, free of charge
+        assert cache.hits == 0
+        assert clock.now_ns == 0
+        cache._insert(0x80)        # evicts 0x40
+        assert cache.contains(0x0)
+        assert not cache.contains(0x40)
+
+
+class TestAccessRunPreconditions:
+    def test_refuses_without_tlb_entry(self):
+        bed = MmuBed()
+        bed.map_page(0x40_0000, 3)
+        snapshot = (bed.mmu.tlb.hits, bed.mmu.cache.hits, bed.clock.now_ns)
+        assert bed.mmu.access_run(bed.cr3, 0x40_0000, 8, 4) == (0, None)
+        assert (bed.mmu.tlb.hits, bed.mmu.cache.hits,
+                bed.clock.now_ns) == snapshot
+
+    def test_refuses_on_uncached_line(self):
+        bed = MmuBed()
+        bed.map_page(0x40_0000, 3)
+        bed.mmu.load(bed.cr3, 0x40_0000, 8)       # fills TLB + line
+        bed.mmu.cache.clflush(3 << 12)
+        assert bed.mmu.access_run(bed.cr3, 0x40_0000, 8, 4) == (0, None)
+
+    def test_refuses_on_permission_violation(self):
+        bed = MmuBed()
+        ro = bits.PTE_PRESENT | bits.PTE_USER     # no RW
+        bed.map_page(0x40_0000, 3, flags=ro)
+        bed.mmu.load(bed.cr3, 0x40_0000, 8)
+        assert bed.mmu.access_run(
+            bed.cr3, 0x40_0000, 8, 4, data=b"x") == (0, None)
+
+    def test_refuses_write_spanning_pages(self):
+        bed = MmuBed()
+        bed.map_page(0x40_0000, 3)
+        bed.map_page(0x40_1000, 4)
+        vaddr = 0x40_0000 + PAGE - 2
+        payload = b"abcd"
+        bed.mmu.store(bed.cr3, vaddr, payload)
+        assert bed.mmu.access_run(
+            bed.cr3, vaddr, 8, 4, data=payload) == (0, None)
+
+    def test_load_replay_matches_scalar_loads(self):
+        scalar, batched = MmuBed(), MmuBed()
+        for bed in (scalar, batched):
+            bed.map_page(0x40_0000, 3)
+            bed.dram.raw_write((3 << 12) + 64, b"payload!")
+            bed.mmu.load(bed.cr3, 0x40_0040, 8)   # prime TLB + line
+        outs = [scalar.mmu.load(scalar.cr3, 0x40_0040, 8)
+                for _ in range(6)]
+        completed, payload = batched.mmu.access_run(
+            batched.cr3, 0x40_0040, 8, 6)
+        assert completed == 6
+        assert payload == outs[-1] == b"payload!"
+        for attr in ("hits", "misses"):
+            assert (getattr(scalar.mmu.tlb, attr)
+                    == getattr(batched.mmu.tlb, attr))
+            assert (getattr(scalar.mmu.cache, attr)
+                    == getattr(batched.mmu.cache, attr))
+        assert scalar.clock.now_ns == batched.clock.now_ns
+
+    def test_store_replay_matches_scalar_stores(self):
+        scalar, batched = MmuBed(), MmuBed()
+        for bed in (scalar, batched):
+            bed.map_page(0x40_0000, 3)
+            bed.mmu.store(bed.cr3, 0x40_0040, b"w")  # opens row, fills
+        for _ in range(5):
+            scalar.mmu.store(scalar.cr3, 0x40_0040, b"data")
+        completed, payload = batched.mmu.access_run(
+            batched.cr3, 0x40_0040, 8, 5, data=b"data")
+        assert (completed, payload) == (5, None)
+        assert (scalar.dram.raw_read((3 << 12) + 64, 4)
+                == batched.dram.raw_read((3 << 12) + 64, 4) == b"data")
+        assert scalar.dram.writes == batched.dram.writes
+        assert scalar.clock.now_ns == batched.clock.now_ns
+
+    def test_huge_page_replay_resolves_interior_frame(self):
+        scalar, batched = MmuBed(), MmuBed()
+        vaddr = 0x20_0000          # 2 MiB aligned
+        probe = vaddr + 5 * PAGE + 64
+        for bed in (scalar, batched):
+            bed.map_huge(vaddr, 512)
+            bed.dram.raw_write(((512 + 5) << 12) + 64, b"interior")
+            bed.mmu.load(bed.cr3, probe, 8)
+        outs = [scalar.mmu.load(scalar.cr3, probe, 8) for _ in range(4)]
+        completed, payload = batched.mmu.access_run(
+            batched.cr3, probe, 8, 4)
+        assert completed == 4
+        assert payload == outs[-1] == b"interior"
+        assert scalar.clock.now_ns == batched.clock.now_ns
+
+
+class TestKernelReplayWithInvlpg:
+    def _prime(self, kernel):
+        process = kernel.create_process("app")
+        base = kernel.mmap(process, 2 * PAGE, name="ws")
+        kernel.user_write(process, base, b"w")
+        return process, base
+
+    def test_invlpg_between_runs_forces_refill(self):
+        kernel = Kernel(tiny_machine(seed=7))
+        process, base = self._prime(kernel)
+        kernel.user_access_run(process, base, 4, size=8)
+        misses_before = kernel.mmu.tlb.misses
+        kernel.mmu.invlpg(base)
+        assert kernel.mmu.tlb.peek(base) is None
+        kernel.user_access_run(process, base, 4, size=8)
+        # Exactly one miss: the first scalar touch re-walks and refills,
+        # the replayed remainder hits the fresh entry.
+        assert kernel.mmu.tlb.misses == misses_before + 1
+        assert kernel.mmu.tlb.peek(base) is not None
+
+    def test_invlpg_from_timer_mid_run_matches_scalar(self):
+        """A timer invlpg's the hot page *during* the run: the batched
+        replay must stop at the deadline, take the dispatch, re-walk and
+        end in exactly the scalar loop's state."""
+        def scenario(batched):
+            kernel = Kernel(machine("thinkpad_x230"))
+            process, base = self._prime(kernel)
+            # A warm read costs a few ns, so 4000 of them span ~10 us;
+            # fire the invalidation a third of the way in.
+            kernel.timers.add_oneshot(
+                3_000,
+                lambda: kernel.mmu.invlpg(base),
+                name="mid-run-invlpg")
+            if batched:
+                kernel.user_access_run(process, base, 4000, size=8)
+            else:
+                for _ in range(4000):
+                    kernel.user_read(process, base, 8)
+            tlb = kernel.mmu.tlb
+            cache = kernel.mmu.cache
+            return (kernel.clock.now_ns, kernel.timers.fired,
+                    tlb.hits, tlb.misses, tlb.invalidations,
+                    cache.hits, cache.misses,
+                    kernel.dram.total_activations)
+
+        scalar = scenario(batched=False)
+        batched = scenario(batched=True)
+        assert scalar == batched
+        assert scalar[4] >= 1  # the invalidation really happened
