@@ -15,7 +15,6 @@ from conftest import scale
 
 from repro.analysis.breakdown import measure_breakdown, render_breakdown
 from repro.config import perf_testbed
-from repro.workloads.base import WorkloadProfile
 from repro.workloads.spec import SPEC_PROFILES
 
 DURATION_MS = scale(50, 120)
@@ -23,8 +22,7 @@ PROGRAMS = ("exchange2_s", "gcc_s", "xalancbmk_s")
 
 
 def _profile(name):
-    return WorkloadProfile(
-        **{**SPEC_PROFILES[name].__dict__, "duration_ms": DURATION_MS})
+    return SPEC_PROFILES[name].replace(duration_ms=DURATION_MS)
 
 
 def test_overhead_anatomy(benchmark, announce):
@@ -42,8 +40,7 @@ def test_overhead_anatomy(benchmark, announce):
     small = _profile("exchange2_s")
 
     def decompose_once():
-        measure_breakdown(
-            WorkloadProfile(**{**small.__dict__, "duration_ms": 5}),
-            spec_factory=perf_testbed)
+        measure_breakdown(small.replace(duration_ms=5),
+                          spec_factory=perf_testbed)
 
     benchmark.pedantic(decompose_once, rounds=5, iterations=1)

@@ -14,32 +14,29 @@ from conftest import scale
 from repro.analysis.tables import render_table
 from repro.clock import NS_PER_MS
 from repro.config import perf_testbed
-from repro.core.profile import SoftTrrParams
-from repro.core.softtrr import SoftTrr
-from repro.kernel.kernel import Kernel
 from repro.kernel.vma import PAGE
+from repro.machine import Machine
 
 POPULATIONS = (2, 6, 12)
 PAGES_PER_PROC = scale(96, 256)
 
 
-def populated_kernel(process_count: int) -> Kernel:
-    kernel = Kernel(perf_testbed())
+def populated_machine(process_count: int) -> Machine:
+    machine = Machine.from_parts(perf_testbed())
+    kernel = machine.kernel
     for i in range(process_count):
         proc = kernel.create_process(f"resident-{i}")
         base = kernel.mmap(proc, PAGES_PER_PROC * PAGE)
         for page in range(0, PAGES_PER_PROC, 3):
             kernel.user_write(proc, base + page * PAGE, b"r")
-    return kernel
+    return machine
 
 
 def test_load_cost_sweep(benchmark, announce):
     rows = []
     times = {}
     for count in POPULATIONS:
-        kernel = populated_kernel(count)
-        module = SoftTrr(SoftTrrParams())
-        kernel.load_module("softtrr", module)
+        module = populated_machine(count).load_softtrr()
         times[count] = module.load_time_ns
         stats = module.stats()
         rows.append([
@@ -57,7 +54,6 @@ def test_load_cost_sweep(benchmark, announce):
     assert times[12] < 100 * NS_PER_MS
 
     def load_once():
-        kernel = populated_kernel(6)
-        kernel.load_module("softtrr", SoftTrr(SoftTrrParams()))
+        populated_machine(6).load_softtrr()
 
     benchmark.pedantic(load_once, rounds=5, iterations=1)

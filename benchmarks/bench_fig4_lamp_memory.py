@@ -15,15 +15,12 @@ from conftest import scale
 from repro.analysis.memory import run_lamp_series, summarise
 from repro.analysis.tables import render_lamp_series
 from repro.config import perf_testbed
-from repro.core.profile import SoftTrrParams
-from repro.core.softtrr import SoftTrr
-from repro.kernel.kernel import Kernel
 from repro.workloads.lamp import LampSimulation
 
 MINUTES = scale(24, 60)
 
 
-def test_fig4_lamp_memory(benchmark, announce):
+def test_fig4_lamp_memory(benchmark, announce, softtrr_machine):
     series = run_lamp_series(distances=(1, 6), minutes=MINUTES,
                              spec_factory=perf_testbed)
     announce("fig4_lamp_memory.txt", render_lamp_series(
@@ -37,9 +34,8 @@ def test_fig4_lamp_memory(benchmark, announce):
         assert summary["stable_memory_kib"] < 700
         assert summary["ringbuf_kib"] == 396.0
 
-    kernel = Kernel(perf_testbed())
-    kernel.load_module("softtrr", SoftTrr(SoftTrrParams()))
-    simulation = LampSimulation(kernel, workers=3, requests_per_minute=20)
+    simulation = LampSimulation(softtrr_machine.kernel, workers=3,
+                                requests_per_minute=20)
     simulation.boot()
 
     def one_lamp_minute():

@@ -17,15 +17,12 @@ from conftest import scale
 from repro.analysis.memory import run_lamp_series
 from repro.analysis.tables import render_lamp_series
 from repro.config import perf_testbed
-from repro.core.profile import SoftTrrParams
-from repro.core.softtrr import SoftTrr
-from repro.kernel.kernel import Kernel
 from repro.workloads.lamp import LampSimulation
 
 MINUTES = scale(24, 60)
 
 
-def test_fig5_lamp_pages(benchmark, announce):
+def test_fig5_lamp_pages(benchmark, announce, softtrr_machine):
     series = run_lamp_series(distances=(1, 6), minutes=MINUTES,
                              spec_factory=perf_testbed)
     protected = render_lamp_series(
@@ -44,10 +41,9 @@ def test_fig5_lamp_pages(benchmark, announce):
     assert 0.5 < ratio < 2.0
     assert d6[-1].traced_pages > d1[-1].traced_pages
 
-    kernel = Kernel(perf_testbed())
-    module = SoftTrr(SoftTrrParams())
-    kernel.load_module("softtrr", module)
-    simulation = LampSimulation(kernel, workers=3, requests_per_minute=20)
+    module = softtrr_machine.softtrr
+    simulation = LampSimulation(softtrr_machine.kernel, workers=3,
+                                requests_per_minute=20)
     simulation.boot()
     simulation.run(minutes=2)  # warm state
 

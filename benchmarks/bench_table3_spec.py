@@ -14,16 +14,13 @@ from conftest import scale
 from repro.analysis.overhead import measure_suite_overhead
 from repro.analysis.tables import render_overhead_table
 from repro.config import perf_testbed
-from repro.core.profile import SoftTrrParams
-from repro.core.softtrr import SoftTrr
-from repro.kernel.kernel import Kernel
-from repro.workloads.base import SliceWorkload, WorkloadProfile
+from repro.workloads.base import SliceWorkload
 from repro.workloads.spec import SPEC_ORDER, SPEC_PROFILES
 
 DURATION_MS = scale(80, 160)
 
 
-def test_table3_spec_overhead(benchmark, announce):
+def test_table3_spec_overhead(benchmark, announce, softtrr_machine):
     rows = measure_suite_overhead(
         SPEC_PROFILES, SPEC_ORDER, spec_factory=perf_testbed,
         duration_override_ms=DURATION_MS)
@@ -36,11 +33,8 @@ def test_table3_spec_overhead(benchmark, announce):
     assert mean.delta6_pct >= -0.5  # Δ±6 cannot be systematically negative
 
     # Benchmark: one defended workload slice.
-    kernel = Kernel(perf_testbed())
-    kernel.load_module("softtrr", SoftTrr(SoftTrrParams()))
-    profile = WorkloadProfile(
-        **{**SPEC_PROFILES["xalancbmk_s"].__dict__, "duration_ms": 1})
-    workload = SliceWorkload(kernel, profile)
+    profile = SPEC_PROFILES["xalancbmk_s"].replace(duration_ms=1)
+    workload = SliceWorkload(softtrr_machine.kernel, profile)
 
     def one_defended_slice():
         workload.run()

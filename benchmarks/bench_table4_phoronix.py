@@ -13,16 +13,13 @@ from conftest import scale
 from repro.analysis.overhead import measure_suite_overhead
 from repro.analysis.tables import render_overhead_table
 from repro.config import perf_testbed
-from repro.core.profile import SoftTrrParams
-from repro.core.softtrr import SoftTrr
-from repro.kernel.kernel import Kernel
-from repro.workloads.base import SliceWorkload, WorkloadProfile
+from repro.workloads.base import SliceWorkload
 from repro.workloads.phoronix import PHORONIX_ORDER, PHORONIX_PROFILES
 
 DURATION_MS = scale(70, 140)
 
 
-def test_table4_phoronix_overhead(benchmark, announce):
+def test_table4_phoronix_overhead(benchmark, announce, softtrr_machine):
     rows = measure_suite_overhead(
         PHORONIX_PROFILES, PHORONIX_ORDER, spec_factory=perf_testbed,
         duration_override_ms=DURATION_MS)
@@ -32,11 +29,8 @@ def test_table4_phoronix_overhead(benchmark, announce):
     assert abs(mean.delta1_pct) < 1.5
     assert abs(mean.delta6_pct) < 1.5
 
-    kernel = Kernel(perf_testbed())
-    kernel.load_module("softtrr", SoftTrr(SoftTrrParams()))
-    profile = WorkloadProfile(
-        **{**PHORONIX_PROFILES["Apache"].__dict__, "duration_ms": 1})
-    workload = SliceWorkload(kernel, profile)
+    profile = PHORONIX_PROFILES["Apache"].replace(duration_ms=1)
+    workload = SliceWorkload(softtrr_machine.kernel, profile)
 
     def one_defended_slice():
         workload.run()

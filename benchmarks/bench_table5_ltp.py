@@ -13,17 +13,13 @@ from conftest import scale
 
 from repro.analysis.robustness import run_table5
 from repro.analysis.tables import render_table5
-from repro.clock import NS_PER_MS
 from repro.config import perf_testbed
-from repro.core.profile import SoftTrrParams
-from repro.core.softtrr import SoftTrr
-from repro.kernel.kernel import Kernel
 from repro.workloads.ltp import run_stress_test
 
 ITERATIONS = scale(10, None)
 
 
-def test_table5_ltp_robustness(benchmark, announce):
+def test_table5_ltp_robustness(benchmark, announce, warm_softtrr_machine):
     rows = run_table5(spec_factory=perf_testbed, iterations=ITERATIONS)
     announce("table5_ltp.txt", render_table5(rows))
     for row in rows:
@@ -31,13 +27,9 @@ def test_table5_ltp_robustness(benchmark, announce):
         assert row.delta1, f"{row.name} failed under D+-1: {row.error}"
         assert row.delta6, f"{row.name} failed under D+-6: {row.error}"
 
-    kernel = Kernel(perf_testbed())
-    kernel.load_module("softtrr", SoftTrr(SoftTrrParams()))
-    kernel.clock.advance(2 * NS_PER_MS)
-    kernel.dispatch_timers()
-
     def clone_stress_once():
-        result = run_stress_test(kernel, "clone", iterations=2)
+        result = run_stress_test(warm_softtrr_machine.kernel, "clone",
+                                 iterations=2)
         assert result.passed
 
     benchmark.pedantic(clone_stress_once, rounds=10, iterations=1)

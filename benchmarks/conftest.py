@@ -28,6 +28,29 @@ def scale(small, full):
 
 
 @pytest.fixture
+def softtrr_machine():
+    """The benches' shared steady-state unit: a perf-testbed Machine
+    with SoftTRR raw-loaded (cold tracer, default Δ±6 params)."""
+    from repro.config import perf_testbed
+    from repro.machine import Machine
+
+    machine = Machine.from_parts(perf_testbed())
+    machine.load_softtrr()
+    return machine
+
+
+@pytest.fixture
+def warm_softtrr_machine(softtrr_machine):
+    """Same machine advanced past the first tracer tick, so the
+    benchmarked operation starts from armed steady state."""
+    from repro.clock import NS_PER_MS
+
+    softtrr_machine.clock.advance(2 * NS_PER_MS)
+    softtrr_machine.kernel.dispatch_timers()
+    return softtrr_machine
+
+
+@pytest.fixture
 def announce(capsys):
     """Print a rendered table to the real terminal and archive it."""
     from repro.analysis.tables import save_result

@@ -11,7 +11,7 @@ Run:  python examples/lamp_monitoring.py [--minutes 20] [--distance 6]
 
 import argparse
 
-from repro import Kernel, SoftTrr, SoftTrrParams, perf_testbed
+from repro import Machine, SoftTrrParams
 from repro.workloads.lamp import LampSimulation
 
 
@@ -23,13 +23,12 @@ def main() -> None:
     parser.add_argument("--workers", type=int, default=3)
     args = parser.parse_args()
 
-    kernel = Kernel(perf_testbed())
-    kernel.load_module(
-        "softtrr", SoftTrr(SoftTrrParams(max_distance=args.distance)))
-    simulation = LampSimulation(kernel, workers=args.workers,
+    m = Machine(machine="perf_testbed")
+    m.load_softtrr(SoftTrrParams(max_distance=args.distance))
+    simulation = LampSimulation(m.kernel, workers=args.workers,
                                 requests_per_minute=20)
 
-    print(f"LAMP + Nikto on {kernel.spec.name}, SoftTRR Delta+-{args.distance}")
+    print(f"LAMP + Nikto on {m.spec.name}, SoftTRR Delta+-{args.distance}")
     print(f"{'min':>4} {'memory KiB':>11} {'trees KiB':>10} "
           f"{'protected':>10} {'traced':>7}")
 
@@ -42,7 +41,7 @@ def main() -> None:
 
     print(f"\nrequests served : {simulation.requests_served}")
     print(f"workers recycled: {simulation.workers_recycled}")
-    stats = kernel.module("softtrr").stats()
+    stats = m.softtrr.stats()
     print(f"final footprint : {stats.memory_bytes / 1024:.1f} KiB "
           f"(ring buffer {stats.ringbuf_bytes / 1024:.0f} KiB, "
           f"trees {stats.tree_bytes / 1024:.1f} KiB)")

@@ -14,15 +14,15 @@ variant panic while the reserved-bit variant (the paper's design) works.
 Run:  python examples/present_bit_pitfall.py
 """
 
-from repro import Kernel, NS_PER_MS, SoftTrr, SoftTrrParams, perf_testbed
+from repro import Machine, NS_PER_MS, SoftTrrParams
 from repro.errors import KernelPanic
 from repro.kernel.vma import PAGE
 
 
 def scenario(trace_bit: str) -> str:
-    kernel = Kernel(perf_testbed())
-    kernel.load_module(
-        "softtrr", SoftTrr(SoftTrrParams(trace_bit=trace_bit)))
+    m = Machine(machine="perf_testbed")
+    m.load_softtrr(SoftTrrParams(trace_bit=trace_bit))
+    kernel = m.kernel
     proc = kernel.create_process("victim-of-design")
     base = kernel.mmap(proc, 48 * PAGE)
     for i in range(48):
@@ -30,7 +30,7 @@ def scenario(trace_bit: str) -> str:
     # Let a tracer tick arm the pages adjacent to the new page tables.
     kernel.clock.advance(2 * NS_PER_MS)
     kernel.dispatch_timers()
-    armed = kernel.module("softtrr").tracer.armed_total
+    armed = m.softtrr.tracer.armed_total
     try:
         child = kernel.fork(proc)
     except KernelPanic as panic:

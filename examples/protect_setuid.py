@@ -17,7 +17,7 @@ This demo runs that scenario twice on the same machine layout:
 Run:  python examples/protect_setuid.py
 """
 
-from repro import Kernel, SoftTrr, SoftTrrParams, optiplex_990
+from repro import Machine
 from repro.attacks.hammer import HammerKit
 from repro.kernel.vma import PAGE
 
@@ -51,11 +51,9 @@ def _claim_vulnerable_frame(kernel):
 
 
 def build_scenario(protect: bool):
-    kernel = Kernel(optiplex_990())
-    module = None
-    if protect:
-        module = SoftTrr(SoftTrrParams())
-        kernel.load_module("softtrr", module)
+    machine = Machine(machine="optiplex_990")
+    kernel = machine.kernel
+    module = machine.load_softtrr() if protect else None
     # Place the setuid binary's text page on a flippable frame.
     setuid = kernel.create_process("setuid-binary")
     code = kernel.mmap(setuid, PAGE, name="text")

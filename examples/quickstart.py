@@ -1,41 +1,43 @@
 #!/usr/bin/env python3
 """Quickstart: boot a machine, load SoftTRR, watch it work.
 
-Boots the paper's DDR4 performance testbed, loads the SoftTRR module
-(Δ±6, the default configuration), runs a small process that maps and
-touches memory, and prints what the module collected, traced and spent.
+Assembles the paper's DDR4 performance testbed behind the ``Machine``
+facade, loads the SoftTRR module (Δ±6, the default configuration), runs
+a small process that maps and touches memory, and prints what the
+module collected, traced and spent.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import Kernel, NS_PER_MS, SoftTrr, SoftTrrParams, perf_testbed
+from repro import Machine, NS_PER_MS, SoftTrrParams
 from repro.kernel.vma import PAGE
 
 
 def main() -> None:
-    # 1. Boot the machine: DRAM with rowhammer physics + MMU + kernel.
-    kernel = Kernel(perf_testbed())
-    print(f"booted {kernel.spec.name}")
-    print(f"  DRAM : {kernel.spec.dram_part}")
-    print(f"  geom : {kernel.dram.geometry.num_banks} banks x "
-          f"{kernel.dram.geometry.rows_per_bank} rows x "
-          f"{kernel.dram.geometry.row_bytes} B rows")
+    # 1. Boot the machine: DRAM with rowhammer physics + MMU + kernel,
+    #    assembled from one declarative config.
+    m = Machine(machine="perf_testbed")
+    print(f"booted {m.spec.name}")
+    print(f"  DRAM : {m.spec.dram_part}")
+    print(f"  geom : {m.dram.geometry.num_banks} banks x "
+          f"{m.dram.geometry.rows_per_bank} rows x "
+          f"{m.dram.geometry.row_bytes} B rows")
 
     # 2. Load SoftTRR as a kernel module (no kernel modification: it
     #    attaches through inline hooks and a 1 ms timer).
-    module = SoftTrr(SoftTrrParams(max_distance=6))
-    kernel.load_module("softtrr", module)
+    module = m.load_softtrr(SoftTrrParams(max_distance=6))
     print(f"\nSoftTRR loaded in {module.load_time_ns / NS_PER_MS:.2f} ms "
           f"(one-off collection scan)")
 
     # 3. Run a process: every new L1 page table it grows is collected,
     #    and pages in DRAM rows near those page tables become traced.
+    kernel = m.kernel
     proc = kernel.create_process("demo-app")
     base = kernel.mmap(proc, 64 * PAGE)
     for i in range(64):
         kernel.user_write(proc, base + i * PAGE, bytes([i]))
     # Let a couple of tracer timer ticks arm the adjacent pages...
-    kernel.clock.advance(3 * NS_PER_MS)
+    m.clock.advance(3 * NS_PER_MS)
     kernel.dispatch_timers()
     # ...and touch everything again so armed pages fault + get counted.
     for i in range(64):
@@ -52,7 +54,14 @@ def main() -> None:
     print(f"  rows refreshed       : {stats.refreshes}")
     print(f"  memory footprint     : {stats.memory_bytes / 1024:.1f} KiB "
           f"({stats.ringbuf_bytes / 1024:.0f} KiB pre-allocated ring buffer)")
-    print(f"\nsimulated time elapsed : {kernel.clock.now_ms:.2f} ms")
+    print(f"\nsimulated time elapsed : {m.clock.now_ms:.2f} ms")
+
+    # 5. Every layer's statistics live behind one registry.
+    counters = m.counters()
+    print("\nmachine counters (non-zero, excerpt):")
+    for key in ("kernel.faults_handled", "tlb.misses", "dram.reads",
+                "dram.writes", "timers.fired", "softtrr.captured_faults"):
+        print(f"  {key:24s} : {counters[key]}")
 
 
 if __name__ == "__main__":

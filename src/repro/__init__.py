@@ -10,14 +10,20 @@ numbers.
 
 Quickstart::
 
-    from repro import Kernel, SoftTrr, SoftTrrParams, perf_testbed
+    from repro import Machine
 
-    kernel = Kernel(perf_testbed())
-    kernel.load_module("softtrr", SoftTrr(SoftTrrParams(max_distance=6)))
-    proc = kernel.create_process("app")
-    base = kernel.mmap(proc, 64 * 4096)
-    kernel.user_write(proc, base, b"hello")
-    print(kernel.module("softtrr").stats())
+    m = Machine(machine="perf_testbed", defense="softtrr",
+                defense_params={"max_distance": 6})
+    proc = m.kernel.create_process("app")
+    base = m.kernel.mmap(proc, 64 * 4096)
+    m.kernel.user_write(proc, base, b"hello")
+    print(m.softtrr.stats())
+    print({k: v for k, v in m.counters().items() if v})
+
+Machines are assembled through :mod:`repro.machine` (one declarative
+config, unified counters, deterministic snapshot/restore), and every
+paper experiment is a named scenario in :mod:`repro.scenarios`, runnable
+serially or in parallel via ``repro-sweep``.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured comparison of every table and figure.
@@ -48,6 +54,22 @@ from .core.softtrr import SoftTrr, SoftTrrStats
 from .errors import SanitizerViolationError
 from .kernel.kernel import Kernel
 from .kernel.physmem import FrameUse
+from .machine import Machine, MachineConfig, MachineSnapshot, boot_kernel
+from .scenarios import (
+    SCENARIOS,
+    ScenarioResult,
+    ScenarioSpec,
+    run_scenario,
+    run_sweep,
+)
+from .workloads.base import SliceWorkload, WorkloadProfile, WorkloadResult
+
+# Importing the repro.machine subpackage above rebound this package's
+# ``machine`` attribute to the module object; restore the spec-factory
+# function (the public ``repro.machine(name)`` API).  ``from
+# repro.machine import Machine`` still resolves the subpackage through
+# sys.modules.
+from .config import machine
 
 __version__ = "1.0.0"
 
@@ -79,5 +101,17 @@ __all__ = [
     "SoftTrrStats",
     "Kernel",
     "FrameUse",
+    "Machine",
+    "MachineConfig",
+    "MachineSnapshot",
+    "boot_kernel",
+    "SCENARIOS",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "run_scenario",
+    "run_sweep",
+    "SliceWorkload",
+    "WorkloadProfile",
+    "WorkloadResult",
     "__version__",
 ]

@@ -15,9 +15,8 @@ from typing import Callable, Dict
 
 from ..config import MachineSpec, perf_testbed
 from ..core.profile import SoftTrrParams
-from ..core.softtrr import SoftTrr
-from ..kernel.kernel import Kernel
-from ..workloads.base import SliceWorkload, WorkloadProfile
+from ..machine import Machine
+from ..workloads.base import WorkloadProfile
 
 #: Accountant categories attributable to the SoftTRR module.
 SOFTTRR_CATEGORIES = (
@@ -64,10 +63,9 @@ def measure_breakdown(
     seed: int = 17,
 ) -> OverheadBreakdown:
     """Run one workload under SoftTRR and decompose the added time."""
-    kernel = Kernel(spec_factory())
-    module = SoftTrr(params or SoftTrrParams())
-    kernel.load_module("softtrr", module)
-    result = SliceWorkload(kernel, profile, seed=seed).run()
+    machine = Machine.from_parts(spec_factory())
+    module = machine.load_softtrr(params or SoftTrrParams())
+    result = machine.run_workload(profile, seed=seed)
     per_category = {
         category: result.accounting.get(category, 0)
         for category in SOFTTRR_CATEGORIES

@@ -11,8 +11,7 @@ from typing import Callable, Dict, List, Sequence
 
 from ..config import MachineSpec, perf_testbed
 from ..core.profile import SoftTrrParams
-from ..core.softtrr import SoftTrr
-from ..kernel.kernel import Kernel
+from ..machine import Machine
 from ..workloads.lamp import LampSample, LampSimulation
 
 
@@ -27,11 +26,10 @@ def run_lamp_series(
     """Per-minute SoftTRR samples under each Δ±distance configuration."""
     series: Dict[int, List[LampSample]] = {}
     for distance in distances:
-        kernel = Kernel(spec_factory())
-        kernel.load_module(
-            "softtrr", SoftTrr(SoftTrrParams(max_distance=distance)))
+        machine = Machine.from_parts(spec_factory())
+        machine.load_softtrr(SoftTrrParams(max_distance=distance))
         simulation = LampSimulation(
-            kernel, seed=seed, workers=workers,
+            machine.kernel, seed=seed, workers=workers,
             requests_per_minute=requests_per_minute)
         series[distance] = simulation.run(minutes=minutes)
     return series

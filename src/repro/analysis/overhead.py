@@ -19,10 +19,9 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..config import MachineSpec, perf_testbed
 from ..core.profile import SoftTrrParams
-from ..core.softtrr import SoftTrr
-from ..kernel.kernel import Kernel
+from ..machine import Machine
 from ..rng import derive_rng
-from ..workloads.base import SliceWorkload, WorkloadProfile
+from ..workloads.base import WorkloadProfile
 
 
 @dataclass
@@ -40,11 +39,10 @@ class OverheadRow:
 def _run_once(spec: MachineSpec, profile: WorkloadProfile,
               distance: Optional[int], seed: int) -> int:
     """One program on one fresh machine; returns runtime in ns."""
-    kernel = Kernel(spec)
+    machine = Machine.from_parts(spec)
     if distance is not None:
-        kernel.load_module(
-            "softtrr", SoftTrr(SoftTrrParams(max_distance=distance)))
-    result = SliceWorkload(kernel, profile, seed=seed).run()
+        machine.load_softtrr(SoftTrrParams(max_distance=distance))
+    result = machine.run_workload(profile, seed=seed)
     return result.runtime_ns
 
 
@@ -89,8 +87,7 @@ def measure_suite_overhead(
     for name in order:
         profile = profiles[name]
         if duration_override_ms is not None:
-            profile = WorkloadProfile(
-                **{**profile.__dict__, "duration_ms": duration_override_ms})
+            profile = profile.replace(duration_ms=duration_override_ms)
         rows.append(measure_overhead(
             profile, spec_factory=spec_factory, seed=seed,
             noise_sigma_pct=noise_sigma_pct))

@@ -15,9 +15,8 @@ from typing import Callable, List, Optional
 from ..clock import NS_PER_MS
 from ..config import MachineSpec, perf_testbed
 from ..core.profile import SoftTrrParams
-from ..core.softtrr import SoftTrr
-from ..kernel.kernel import Kernel
 from ..kernel.vma import PAGE
+from ..machine import Machine
 from ..workloads.ltp import LTP_STRESS_TESTS, run_stress_test
 
 
@@ -38,12 +37,13 @@ class Table5Row:
                      for ok in (self.vanilla, self.delta1, self.delta6))
 
 
-def _fresh_kernel(spec_factory: Callable[[], MachineSpec],
-                  distance: Optional[int]) -> Kernel:
-    kernel = Kernel(spec_factory())
+def stress_machine(spec_factory: Callable[[], MachineSpec],
+                   distance: Optional[int]) -> Machine:
+    """A fresh machine for one stress run (optionally SoftTRR Δ±d)."""
+    machine = Machine.from_parts(spec_factory())
+    kernel = machine.kernel
     if distance is not None:
-        kernel.load_module(
-            "softtrr", SoftTrr(SoftTrrParams(max_distance=distance)))
+        machine.load_softtrr(SoftTrrParams(max_distance=distance))
         # Warm the system so the tracer has real armed state while the
         # stress storms run (that is the point of the robustness test).
         proc = kernel.create_process("warmup")
@@ -52,7 +52,7 @@ def _fresh_kernel(spec_factory: Callable[[], MachineSpec],
             kernel.user_write(proc, base + i * PAGE, b"w")
         kernel.clock.advance(2 * NS_PER_MS)
         kernel.dispatch_timers()
-    return kernel
+    return machine
 
 
 def run_table5(spec_factory: Callable[[], MachineSpec] = perf_testbed,
@@ -62,8 +62,8 @@ def run_table5(spec_factory: Callable[[], MachineSpec] = perf_testbed,
     for name, (category, _, _) in LTP_STRESS_TESTS.items():
         results = {}
         for label, distance in (("vanilla", None), ("d1", 1), ("d6", 6)):
-            kernel = _fresh_kernel(spec_factory, distance)
-            results[label] = run_stress_test(kernel, name,
+            machine = stress_machine(spec_factory, distance)
+            results[label] = run_stress_test(machine.kernel, name,
                                              iterations=iterations)
         failures = [r.error for r in results.values() if not r.passed]
         rows.append(Table5Row(

@@ -29,7 +29,7 @@ import time
 from typing import Callable, Dict, Optional
 
 from ..config import machine
-from ..kernel.kernel import Kernel
+from ..machine import Machine
 from ..workloads.base import SliceWorkload, WorkloadProfile
 
 #: Machine profile the microbenchmarks run on (DDR3, no ChipTRR — the
@@ -56,8 +56,8 @@ def _dram_observables(dram) -> tuple:
 
 def _hammer_case(label: str, items, activations: int) -> Dict[str, object]:
     """Time one scalar-loop vs one batched replay of ``items``."""
-    scalar_dram = Kernel(machine(BENCH_MACHINE)).dram
-    batched_dram = Kernel(machine(BENCH_MACHINE)).dram
+    scalar_dram = Machine.from_parts(machine(BENCH_MACHINE)).dram
+    batched_dram = Machine.from_parts(machine(BENCH_MACHINE)).dram
 
     def scalar() -> None:
         for paddr, count in items:
@@ -84,7 +84,7 @@ def _hammer_case(label: str, items, activations: int) -> Dict[str, object]:
 def bench_hammer(quick: bool) -> Dict[str, object]:
     """Activation throughput, one-location and double-sided streams."""
     n = 15_000 if quick else 60_000
-    dram = Kernel(machine(BENCH_MACHINE)).dram
+    dram = Machine.from_parts(machine(BENCH_MACHINE)).dram
     one_loc = dram.mapping.dram_to_phys(0, 30, 0)
     left = dram.mapping.dram_to_phys(0, 29, 0)
     right = dram.mapping.dram_to_phys(0, 31, 0)
@@ -110,7 +110,7 @@ def bench_workload(quick: bool) -> Dict[str, object]:
     seconds = {}
     results = {}
     for mode, use_batch in (("scalar", False), ("batched", True)):
-        kernel = Kernel(machine(BENCH_MACHINE))
+        kernel = Machine.from_parts(machine(BENCH_MACHINE)).kernel
         work = SliceWorkload(kernel, profile, seed=1234, use_batch=use_batch)
         seconds[mode] = _timed(lambda: results.__setitem__(mode, work.run()))
     if (results["scalar"].runtime_ns != results["batched"].runtime_ns

@@ -1,4 +1,4 @@
-"""The repo-specific lint rules (RPR001..RPR005).
+"""The repo-specific lint rules (RPR001..RPR006).
 
 Each rule encodes an invariant the simulation's correctness argument
 rests on:
@@ -19,6 +19,12 @@ rests on:
 * **RPR005** — ``__all__`` consistency for every package
   ``__init__.py``: the export list exists, is a literal, names only
   bound symbols, and covers every public top-level binding.
+* **RPR006** — no direct ``Kernel(...)`` / ``DramModule(...)``
+  construction outside :mod:`repro.machine`. The facade is the one
+  sanctioned assembly path (defense frame policies, sanitizer
+  strictness, warm-up semantics all live there); a hand-wired kernel
+  silently skips those steps. Unit tests keep direct access — they
+  exercise layers in isolation by design.
 """
 
 from __future__ import annotations
@@ -229,6 +235,46 @@ class ExportConsistencyRule(LintRule):
                 )
 
 
+class MachineAssemblyRule(LintRule):
+    """RPR006: machines are assembled through :mod:`repro.machine`.
+
+    ``Kernel(spec)`` wired by hand skips the facade's assembly steps
+    (defense frame-policy injection, sanitizer strictness, install
+    warm-up semantics), so direct construction of :class:`Kernel` or
+    :class:`DramModule` is restricted to the machine layer itself,
+    ``repro/config.py`` (``build_dram``, the spec-to-DRAM factory) and
+    unit tests, which take layers apart on purpose.
+    """
+
+    rule_id = "RPR006"
+    description = ("no direct Kernel()/DramModule() construction outside "
+                   "repro.machine")
+    interests = (ast.Call,)
+    allowed_paths = (
+        "repro/machine/",
+        "repro/config.py",
+        "tests/",
+    )
+
+    _CONSTRUCTORS = frozenset({"Kernel", "DramModule"})
+
+    def check_node(self, node: ast.AST, ctx: LintContext) -> Iterable[Finding]:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            name = func.id
+        else:
+            return
+        if name in self._CONSTRUCTORS:
+            yield self.finding(
+                ctx, node,
+                f"direct {name}() construction; assemble through "
+                "repro.machine.Machine (or Machine.from_parts / "
+                "boot_kernel)",
+            )
+
+
 def _bound_names(stmt: ast.stmt) -> Iterable[str]:
     """Names a top-level statement binds (``*`` for a star import)."""
     if isinstance(stmt, ast.Import):
@@ -303,4 +349,5 @@ def default_rules() -> Sequence[LintRule]:
         RawBitLiteralRule(),
         WriteEntryRule(),
         ExportConsistencyRule(),
+        MachineAssemblyRule(),
     )

@@ -66,17 +66,21 @@ class SoftTrrDefense(Defense):
 
 
 def boot_kernel(spec: MachineSpec, defense: Optional[Defense] = None) -> Kernel:
-    """Boot a machine with a defense applied (policy + module)."""
-    defense = defense or NoDefense()
-    kernel = Kernel(spec, frame_policy_factory=defense.frame_policy_factory())
-    defense.install(kernel)
-    return kernel
+    """Boot a machine with a defense applied (policy + module).
+
+    Compatibility alias: assembly itself lives in :mod:`repro.machine`.
+    """
+    from ..machine import Machine
+
+    return Machine.from_parts(spec, defense).kernel
 
 
 def _registry() -> Dict[str, Callable[[], Defense]]:
+    from .alis import AlisDefense
     from .anvil import AnvilDefense
     from .catt import CattDefense
     from .cta import CtaDefense
+    from .riprh import RipRhDefense
     from .zebram import ZebramDefense
 
     return {
@@ -85,6 +89,8 @@ def _registry() -> Dict[str, Callable[[], Defense]]:
         "cta": CtaDefense,
         "zebram": ZebramDefense,
         "anvil": AnvilDefense,
+        "riprh": RipRhDefense,
+        "alis": AlisDefense,
         "softtrr": SoftTrrDefense,
     }
 
@@ -94,6 +100,10 @@ class _LazyRegistry(dict):
 
     def __missing__(self, key):
         self.update(_registry())
+        # dict.__getitem__ re-enters __missing__ for absent keys, so an
+        # unknown defense must raise here rather than recurse.
+        if key not in self:
+            raise KeyError(key)
         return dict.__getitem__(self, key)
 
     def keys(self):  # pragma: no cover - convenience

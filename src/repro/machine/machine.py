@@ -1,0 +1,281 @@
+"""The Machine facade: the one sanctioned assembly path.
+
+Everything that used to be hand-wired at every entry point — ``Kernel(
+perf_testbed())`` + ``load_module(...)`` + ad-hoc sanitizer installs +
+per-layer counter spelunking — lives here.  A :class:`Machine` owns the
+full simulated stack (clock, DRAM, MMU, kernel, defense, sanitizers,
+batching knob), is built from a declarative :class:`MachineConfig`, and
+offers:
+
+* :meth:`counters` — every per-layer statistic (TLB, CPU cache, DRAM
+  banks, disturbance engine, in-DRAM TRR, kernel, timers, SoftTRR)
+  under one namespaced registry;
+* :meth:`snapshot` / :meth:`restore` — deterministic whole-machine
+  checkpointing.  A restored machine replays to bit-identical
+  FlipEvent streams because *all* replay-relevant state travels:
+  DRAM cell arrays, disturbance accumulators, page tables, TLB/cache,
+  ChipTRR trackers, RNG streams, the event clock and pending timers.
+
+Direct ``Kernel(...)`` / ``DramModule(...)`` construction outside this
+layer is a lint violation (RPR006) — the facade is how the repo builds
+machines.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, Optional
+
+from ..config import MachineSpec
+from ..kernel.kernel import Kernel
+from .config import MachineConfig
+
+__all__ = ["Machine", "MachineSnapshot", "boot_kernel"]
+
+
+class MachineSnapshot:
+    """An immutable, reusable checkpoint of one machine.
+
+    Holds a fully isolated deep copy of the machine state; restoring
+    copies it again, so one snapshot supports any number of restores
+    and is never mutated by subsequent simulation.
+    """
+
+    __slots__ = ("_state", "taken_at_ns")
+
+    def __init__(self, state, taken_at_ns: int) -> None:
+        self._state = state
+        self.taken_at_ns = taken_at_ns
+
+    def materialise(self):
+        """A fresh (kernel, defense, sanitizer manager) replica."""
+        return copy.deepcopy(self._state)
+
+
+class Machine:
+    """A fully assembled simulated machine behind one facade.
+
+    Build declaratively — ``Machine(MachineConfig(machine="perf_testbed",
+    defense="softtrr"))`` or the equivalent ``Machine(machine=...,
+    defense=...)`` keyword form — or from pre-built parts with
+    :meth:`from_parts` (the compatibility path ``boot_kernel`` uses).
+    """
+
+    def __init__(self, config: Optional[MachineConfig] = None, **overrides) -> None:
+        if config is None:
+            config = MachineConfig(**overrides)
+        elif overrides:
+            config = config.replace(**overrides)
+        self.config = config
+        self.batch = config.batch
+        self._assemble(
+            config.build_spec(),
+            config.build_defense(),
+            sanitize=config.sanitize,
+            strict=config.strict_sanitizers,
+        )
+
+    @classmethod
+    def from_parts(
+        cls,
+        spec: MachineSpec,
+        defense=None,
+        *,
+        sanitize: bool = False,
+        strict_sanitizers: bool = False,
+        batch: Optional[bool] = None,
+    ) -> "Machine":
+        """Assemble from already-built spec/defense objects.
+
+        This is the escape hatch for callers that need a bespoke
+        :class:`MachineSpec` (custom disturbance params, test
+        geometries) that no registry name describes.  ``config`` is
+        ``None`` on the result.
+        """
+        self = cls.__new__(cls)
+        self.config = None
+        self.batch = batch
+        if defense is None:
+            from ..defenses.base import NoDefense
+
+            defense = NoDefense()
+        self._assemble(
+            spec, defense, sanitize=sanitize, strict=strict_sanitizers)
+        return self
+
+    def _assemble(self, spec: MachineSpec, defense, *, sanitize: bool,
+                  strict: bool) -> None:
+        self.spec = spec
+        self.defense = defense
+        self.kernel = Kernel(
+            spec, frame_policy_factory=defense.frame_policy_factory())
+        # ``MachineSpec(sanitize=True)`` already installed (non-strict)
+        # sanitizers inside Kernel.__init__; honour a strictness request
+        # on that manager rather than double-installing.
+        if self.kernel.sanitizers is None:
+            if sanitize or strict:
+                from ..checkers.sanitizers import install_sanitizers
+
+                install_sanitizers(self.kernel, strict=strict)
+        elif strict:
+            self.kernel.sanitizers.strict = True
+        defense.install(self.kernel)
+
+    # ======================================================== conveniences
+    @property
+    def clock(self):
+        """The machine's simulated clock."""
+        return self.kernel.clock
+
+    @property
+    def dram(self):
+        """The machine's DRAM module."""
+        return self.kernel.dram
+
+    @property
+    def mmu(self):
+        """The machine's MMU."""
+        return self.kernel.mmu
+
+    @property
+    def sanitizers(self):
+        """The installed sanitizer manager, or None."""
+        return self.kernel.sanitizers
+
+    @property
+    def softtrr(self):
+        """The loaded SoftTRR module, or None."""
+        return self.kernel.module("softtrr")
+
+    def module(self, name: str):
+        """A loaded module by name, or None."""
+        return self.kernel.module(name)
+
+    def load_softtrr(self, params=None):
+        """Load the SoftTRR module raw (no warm-up ticks); returns it.
+
+        This is the overhead-measurement path: unlike the
+        ``defense="softtrr"`` config route (which advances two timer
+        intervals so the tracer arms pre-existing pages, the Table II
+        semantics), the module starts cold and the first tick lands
+        inside the measured region — exactly how Tables III–V and the
+        LAMP figures boot their machines.
+        """
+        from ..core.profile import SoftTrrParams
+        from ..core.softtrr import SoftTrr
+
+        module = SoftTrr(params or SoftTrrParams())
+        self.kernel.load_module("softtrr", module)
+        return module
+
+    def run_workload(self, profile, seed: int = 1234):
+        """Run a :class:`WorkloadProfile` on this machine's kernel.
+
+        The machine's ``batch`` setting (from its config) pins the
+        batched/scalar execution path; ``None`` defers to the
+        ``REPRO_BATCH`` environment knob at run time.
+        """
+        from ..workloads.base import SliceWorkload
+
+        return SliceWorkload(
+            self.kernel, profile, seed=seed, use_batch=self.batch).run()
+
+    # ============================================================ counters
+    def counters(self) -> Dict[str, int]:
+        """Every per-layer statistic under one namespaced registry.
+
+        Keys are ``layer.counter`` (e.g. ``tlb.misses``,
+        ``dram.applied_flips``, ``softtrr.refreshes``); values are ints.
+        The dict is a point-in-time copy — diff two calls to measure a
+        phase.  Layers: ``clock``, ``kernel``, ``timers``, ``tlb``,
+        ``cache``, ``dram``, ``bank.<i>`` (activations per bank),
+        ``engine``, ``trr``, ``accounting`` and, when the module is
+        loaded, ``softtrr``.
+        """
+        kernel = self.kernel
+        dram = kernel.dram
+        mmu = kernel.mmu
+        out: Dict[str, int] = {
+            "clock.now_ns": kernel.clock.now_ns,
+            "kernel.faults_handled": kernel.faults_handled,
+            "kernel.demand_pages": kernel.demand_pages,
+            "kernel.forks": kernel.forks,
+            "kernel.segfaults": kernel.segfaults,
+            "timers.fired": kernel.timers.fired,
+            "tlb.hits": mmu.tlb.hits,
+            "tlb.misses": mmu.tlb.misses,
+            "tlb.invalidations": mmu.tlb.invalidations,
+            "cache.hits": mmu.cache.hits,
+            "cache.misses": mmu.cache.misses,
+            "cache.flushes": mmu.cache.flushes,
+            "cache.evictions": mmu.cache.evictions,
+            "dram.reads": dram.reads,
+            "dram.writes": dram.writes,
+            "dram.total_activations": dram.total_activations,
+            "dram.applied_flips": dram.applied_flips,
+            "dram.flip_events": len(dram.flip_log),
+            "engine.total_deposits": dram.engine.total_deposits,
+            "engine.total_flip_events": dram.engine.total_flip_events,
+            "trr.targeted_refreshes": dram.trr.targeted_refreshes,
+        }
+        for index in range(dram.geometry.num_banks):
+            bank = dram.bank_state(index)
+            out[f"bank.{index}.activations"] = bank.activations
+            out[f"bank.{index}.hits"] = bank.hits
+        for category, ns in kernel.accountant.snapshot().items():
+            out[f"accounting.{category}"] = ns
+        softtrr = self.softtrr
+        if softtrr is not None:
+            for key, value in vars(softtrr.stats()).items():
+                out[f"softtrr.{key}"] = value
+        return out
+
+    # ==================================================== snapshot/restore
+    def snapshot(self) -> MachineSnapshot:
+        """Checkpoint the whole machine deterministically.
+
+        The deep copy covers every piece of replay-relevant state —
+        DRAM cell arrays and disturbance accumulators, page tables
+        (they live *in* DRAM), TLB/CPU-cache contents, ChipTRR
+        trackers, module RNG streams, the clock and its pending timer
+        heap (bound-method callbacks rebind to the copied objects via
+        deepcopy memoization).
+
+        The sanitizer manager wraps kernel choke points with closures
+        over the live objects, which a naive deepcopy would leak into
+        the copy — so the manager is uninstalled around the copy and
+        reinstalled on both sides.
+        """
+        manager = self.kernel.sanitizers
+        if manager is not None:
+            manager.uninstall()
+        try:
+            state = copy.deepcopy((self.kernel, self.defense, manager))
+        finally:
+            if manager is not None:
+                manager.install()
+        return MachineSnapshot(state, self.kernel.clock.now_ns)
+
+    def restore(self, snap: MachineSnapshot) -> "Machine":
+        """Rewind this machine to a snapshot (in place); returns self.
+
+        The snapshot is copied, not adopted, so it stays reusable.
+        Replaying the same inputs after a restore reproduces the
+        original run bit-for-bit: identical FlipEvents, counters and
+        simulated nanoseconds.
+        """
+        kernel, defense, manager = snap.materialise()
+        self.kernel = kernel
+        self.defense = defense
+        if manager is not None:
+            manager.install()
+        return self
+
+
+def boot_kernel(spec: MachineSpec, defense=None) -> Kernel:
+    """Boot a machine with a defense applied; returns the kernel.
+
+    Compatibility shim for the pre-``Machine`` API — equivalent to
+    ``Machine.from_parts(spec, defense).kernel``.
+    """
+    return Machine.from_parts(spec, defense).kernel

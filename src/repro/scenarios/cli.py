@@ -1,0 +1,96 @@
+"""``repro-sweep``: run registered scenario grids, optionally parallel.
+
+Examples::
+
+    repro-sweep --list
+    repro-sweep --group smoke
+    repro-sweep --group table2 --workers 4 --output results/table2.json
+    repro-sweep smoke-spray-vanilla smoke-spray-softtrr --workers 2
+
+Output is canonical JSON (sorted keys, fixed layout): a sweep with
+``--workers N`` is byte-identical to ``--workers 1`` over the same
+scenarios, which CI asserts with a plain ``diff``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..errors import ConfigError, ReproError
+from .registry import SCENARIOS, list_groups, scenario, scenario_group
+from .runner import run_sweep
+from .spec import results_to_json
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep",
+        description="Run registered paper scenarios, optionally in parallel.",
+    )
+    parser.add_argument(
+        "scenarios", nargs="*",
+        help="scenario names to run (see --list)")
+    parser.add_argument(
+        "--group", action="append", default=[],
+        help="run every scenario of a group (repeatable)")
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (default 1 = serial; results are "
+             "byte-identical for any value)")
+    parser.add_argument(
+        "--list", action="store_true", dest="list_scenarios",
+        help="list registered scenarios and exit")
+    parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the JSON results to PATH instead of stdout")
+    return parser
+
+
+def _render_listing() -> str:
+    lines = []
+    for group in list_groups():
+        lines.append(f"{group}:")
+        for spec in scenario_group(group):
+            lines.append(f"  {spec.name:34s} [{spec.kind}] {spec.title}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.list_scenarios:
+        print(_render_listing())
+        return 0
+    try:
+        specs = []
+        for group in args.group:
+            specs.extend(scenario_group(group))
+        for name in args.scenarios:
+            specs.append(scenario(name))
+        if not specs:
+            print("repro-sweep: nothing to run "
+                  "(name scenarios or pass --group; see --list)",
+                  file=sys.stderr)
+            return 2
+        if args.workers < 1:
+            raise ConfigError("--workers must be >= 1")
+        results = run_sweep(specs, workers=args.workers)
+    except ReproError as exc:
+        print(f"repro-sweep: error: {exc}", file=sys.stderr)
+        return 2
+    text = results_to_json(results)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"[{len(results)} scenarios -> {args.output}]")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

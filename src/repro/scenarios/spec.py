@@ -1,0 +1,94 @@
+"""Scenario data model: one paper experiment cell as plain data.
+
+A :class:`ScenarioSpec` pins down everything one evaluation run needs —
+machine, defense (+params), attack or workload, and the kind-specific
+knobs — so the paper's grid (Tables II–V, Figures 4–5, the extra
+benches) becomes a flat registry of records instead of bespoke scripts.
+Specs and results are picklable and JSON-stable: the sweep runner ships
+specs to worker processes and merges results byte-identically to serial
+execution.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from ..errors import ConfigError
+
+__all__ = ["KINDS", "ScenarioSpec", "ScenarioResult", "results_to_json"]
+
+#: Scenario kinds the runner knows how to execute.
+KINDS = ("attack", "overhead", "breakdown", "lamp", "stress")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One evaluation cell: machine + defense + attack/workload + knobs.
+
+    ``machine``/``defense``/``defense_params`` feed a
+    :class:`~repro.machine.MachineConfig`.  ``attack`` names an attack
+    for ``kind="attack"``; ``workload`` names a profile
+    (``"spec:gcc_s"``, ``"phoronix:Apache"``) for overhead/breakdown
+    kinds or an LTP test for ``kind="stress"``.  Everything else lives
+    in ``params`` (kind-specific; see :mod:`repro.scenarios.runner`).
+    """
+
+    name: str
+    kind: str
+    group: str
+    title: str = ""
+    machine: str = "perf_testbed"
+    defense: str = "vanilla"
+    defense_params: Mapping = field(default_factory=dict)
+    attack: Optional[str] = None
+    workload: Optional[str] = None
+    params: Mapping = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigError(
+                f"unknown scenario kind {self.kind!r}; known: {KINDS}")
+        if self.kind == "attack" and not self.attack:
+            raise ConfigError(f"scenario {self.name!r}: attack kind "
+                              "needs an attack name")
+        if self.kind in ("overhead", "breakdown", "stress") and not self.workload:
+            raise ConfigError(f"scenario {self.name!r}: {self.kind} kind "
+                              "needs a workload name")
+        # Plain dicts so specs pickle and compare cleanly.
+        object.__setattr__(self, "defense_params", dict(self.defense_params))
+        object.__setattr__(self, "params", dict(self.params))
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario run, as a JSON-stable record."""
+
+    name: str
+    kind: str
+    group: str
+    payload: Mapping
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (the canonical serialisation input)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "group": self.group,
+            "payload": self.payload,
+        }
+
+
+def results_to_json(results) -> str:
+    """Canonical JSON for a result list — byte-stable across runs.
+
+    Keys are sorted and separators fixed, so two runs producing equal
+    values serialise to identical bytes regardless of worker count or
+    dict insertion order.
+    """
+    return json.dumps(
+        [r.to_dict() for r in results],
+        sort_keys=True,
+        indent=2,
+    ) + "\n"

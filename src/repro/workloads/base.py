@@ -22,6 +22,7 @@ excess over the vanilla run *is* the measured overhead.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -70,6 +71,10 @@ class WorkloadProfile:
             raise ConfigError("write_fraction must be a probability")
         if self.hot_touch_repeat < 1:
             raise ConfigError("hot_touch_repeat must be >= 1")
+
+    def replace(self, **overrides) -> "WorkloadProfile":
+        """A copy with ``overrides`` applied (validation re-runs)."""
+        return dataclasses.replace(self, **overrides)
 
 
 @dataclass

@@ -11,6 +11,7 @@ import pytest
 from repro.checkers.framework import lint_source, parse_suppressions
 from repro.checkers.rules import (
     ExportConsistencyRule,
+    MachineAssemblyRule,
     RawBitLiteralRule,
     UnseededRandomRule,
     WallClockRule,
@@ -184,6 +185,42 @@ class TestExportConsistencyRule:
                    rules=[ExportConsistencyRule()]) == []
 
 
+class TestMachineAssemblyRule:
+    def test_direct_kernel_flagged(self):
+        findings = run("kernel = Kernel(perf_testbed())\n",
+                       rules=[MachineAssemblyRule()])
+        assert ids(findings) == ["RPR006"]
+
+    def test_qualified_constructor_flagged(self):
+        findings = run("dram = module.DramModule(spec, clock)\n",
+                       rules=[MachineAssemblyRule()])
+        assert ids(findings) == ["RPR006"]
+
+    def test_allowed_in_machine_layer(self):
+        assert run("kernel = Kernel(spec)\n",
+                   rel_path="src/repro/machine/machine.py",
+                   rules=[MachineAssemblyRule()]) == []
+
+    def test_allowed_in_config_factory(self):
+        assert run("dram = DramModule(spec, clock)\n",
+                   rel_path="src/repro/config.py",
+                   rules=[MachineAssemblyRule()]) == []
+
+    def test_allowed_in_unit_tests(self):
+        assert run("kernel = Kernel(tiny_machine())\n",
+                   rel_path="tests/kernel/test_kernel.py",
+                   rules=[MachineAssemblyRule()]) == []
+
+    def test_suppressed(self):
+        src = "kernel = Kernel(spec)  # repro-lint: disable=RPR006\n"
+        assert run(src, rules=[MachineAssemblyRule()]) == []
+
+    def test_facade_spelling_ignored(self):
+        assert run("m = Machine(machine='perf_testbed')\n"
+                   "k = boot_kernel(spec)\n",
+                   rules=[MachineAssemblyRule()]) == []
+
+
 class TestFramework:
     def test_disable_all(self):
         src = "import time  # repro-lint: disable=all\n"
@@ -215,4 +252,4 @@ class TestFramework:
 
     def test_default_rules_ids_stable(self):
         assert [r.rule_id for r in default_rules()] == [
-            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005"]
+            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"]

@@ -1,0 +1,114 @@
+"""Snapshot/restore determinism: restore + replay = bit-identical run.
+
+The acceptance property: snapshot a machine, disturb it (hammer DRAM,
+run workloads, let SoftTRR tick), record the FlipEvent stream and the
+full counter registry, then restore and replay the same inputs — every
+observable must match, under strict sanitizers, with batching pinned on
+and off.
+"""
+
+import pytest
+
+from repro.clock import NS_PER_MS
+from repro.kernel.vma import PAGE
+from repro.machine import Machine
+from repro.workloads.spec import SPEC_PROFILES
+
+SHORT = SPEC_PROFILES["exchange2_s"].replace(duration_ms=4)
+
+
+def _aggressor_paddr(machine):
+    """Physical address whose row flanks the cheapest vulnerable row."""
+    dram = machine.dram
+    best = None
+    for row in range(4, dram.geometry.rows_per_bank - 4):
+        cells = dram.engine.vulnerable_cells(0, row)
+        if cells and (best is None or cells[0].threshold < best[1]):
+            best = (row, cells[0].threshold)
+    if best is None:
+        pytest.skip("no vulnerable row on this machine seed")
+    return dram.mapping.dram_to_phys(0, best[0] - 1, 0)
+
+
+def _hammer_replay(machine, aggr):
+    """A fixed disturbance: hammer bursts + a small process + a tick."""
+    kernel = machine.kernel
+    proc = kernel.create_process("replayed-app")
+    base = kernel.mmap(proc, 8 * PAGE)
+    for i in range(8):
+        kernel.user_write(proc, base + i * PAGE, bytes([i + 1]))
+    for _ in range(40):
+        machine.dram.hammer(aggr, 1_000)
+    machine.clock.advance(2 * NS_PER_MS)
+    kernel.dispatch_timers()
+    return _observables(machine)
+
+
+def _observables(machine):
+    return (tuple(machine.dram.flip_log), machine.clock.now_ns,
+            machine.counters())
+
+
+class TestSnapshotRestore:
+    def test_restore_replays_identical_flip_stream(self):
+        m = Machine(machine="tiny", sanitize=True, strict_sanitizers=True)
+        aggr = _aggressor_paddr(m)
+        snap = m.snapshot()
+        first = _hammer_replay(m, aggr)
+        assert first[0], "disturbance produced no FlipEvents to compare"
+        m.restore(snap)
+        second = _hammer_replay(m, aggr)
+        assert first == second
+
+    def test_snapshot_is_reusable_across_restores(self):
+        m = Machine(machine="tiny", sanitize=True, strict_sanitizers=True)
+        aggr = _aggressor_paddr(m)
+        snap = m.snapshot()
+        runs = []
+        for _ in range(2):
+            m.restore(snap)
+            runs.append(_hammer_replay(m, aggr))
+        assert runs[0] == runs[1]
+
+    def test_snapshot_untouched_by_later_simulation(self):
+        m = Machine(machine="tiny")
+        snap = m.snapshot()
+        baseline = snap.taken_at_ns
+        m.run_workload(SHORT, seed=5)
+        m.restore(snap)
+        assert m.clock.now_ns == baseline
+
+    def test_restore_reinstalls_strict_sanitizers(self):
+        m = Machine(machine="tiny", sanitize=True, strict_sanitizers=True)
+        snap = m.snapshot()
+        m.run_workload(SHORT, seed=5)
+        m.restore(snap)
+        assert m.sanitizers is not None
+        assert m.sanitizers.strict is True
+        # The manager's wrappers are live again (uninstall clears them).
+        assert m.sanitizers._originals
+
+    @pytest.mark.parametrize("batch", [False, True])
+    def test_workload_replay_matches_under_both_exec_paths(self, batch):
+        m = Machine(machine="tiny", defense="softtrr",
+                    defense_params={"timer_inr_ns": 50_000},
+                    sanitize=True, strict_sanitizers=True, batch=batch)
+        snap = m.snapshot()
+        first = m.run_workload(SHORT, seed=11)
+        first_obs = _observables(m)
+        m.restore(snap)
+        second = m.run_workload(SHORT, seed=11)
+        assert (first.runtime_ns, first.slices) == (
+            second.runtime_ns, second.slices)
+        assert first_obs == _observables(m)
+
+    def test_mid_run_snapshot_resumes_identically(self):
+        # Snapshot *after* some history, not just at boot.
+        m = Machine(machine="tiny", defense="softtrr",
+                    defense_params={"timer_inr_ns": 50_000})
+        m.run_workload(SHORT, seed=2)
+        snap = m.snapshot()
+        first = (m.run_workload(SHORT, seed=3).runtime_ns, _observables(m))
+        m.restore(snap)
+        second = (m.run_workload(SHORT, seed=3).runtime_ns, _observables(m))
+        assert first == second

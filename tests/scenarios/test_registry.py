@@ -1,0 +1,84 @@
+"""Registry integrity: every scenario names things that exist."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.scenarios import (
+    KINDS,
+    SCENARIOS,
+    ScenarioSpec,
+    list_groups,
+    scenario,
+    scenario_group,
+)
+from repro.workloads.ltp import LTP_STRESS_TESTS
+from repro.workloads.phoronix import PHORONIX_PROFILES
+from repro.workloads.spec import SPEC_PROFILES
+
+SUITES = {"spec": SPEC_PROFILES, "phoronix": PHORONIX_PROFILES}
+ATTACKS = {"memory_spray", "memory_spray_d2", "cattmew", "pthammer",
+           "pthammer_spray"}
+
+
+class TestRegistry:
+    def test_groups_cover_the_paper_evaluation(self):
+        assert list_groups() == [
+            "table2", "baselines", "table3", "table4", "table5",
+            "lamp", "anatomy", "smoke"]
+
+    def test_expected_grid_sizes(self):
+        sizes = {g: len(scenario_group(g)) for g in list_groups()}
+        assert sizes == {
+            "table2": 6,        # 3 machine/attack pairs x {vanilla,softtrr}
+            "baselines": 19,    # the Sections I/II comparison matrix
+            "table3": 10,       # SPECspeed 2017 Integer programs
+            "table4": 17,       # Phoronix programs
+            "table5": 60,       # 20 LTP tests x {vanilla, d1, d6}
+            "lamp": 2,          # Figures 4-5, D+-1 and D+-6
+            "anatomy": 3,
+            "smoke": 5,
+        }
+
+    def test_names_match_registry_keys(self):
+        assert all(name == spec.name for name, spec in SCENARIOS.items())
+
+    def test_every_kind_is_known(self):
+        assert {spec.kind for spec in SCENARIOS.values()} <= set(KINDS)
+
+    def test_attack_scenarios_name_registered_attacks(self):
+        for spec in SCENARIOS.values():
+            if spec.kind == "attack":
+                assert spec.attack in ATTACKS, spec.name
+
+    def test_workload_references_resolve(self):
+        for spec in SCENARIOS.values():
+            if spec.kind in ("overhead", "breakdown"):
+                suite, _, program = spec.workload.partition(":")
+                assert program in SUITES[suite], spec.name
+            elif spec.kind == "stress":
+                assert spec.workload in LTP_STRESS_TESTS, spec.name
+
+    def test_specs_build_their_machine_configs(self):
+        for spec in SCENARIOS.values():
+            assert spec.machine in ("tiny", "perf_testbed", "optiplex_390",
+                                    "optiplex_990", "thinkpad_x230"), spec.name
+
+    def test_unknown_lookups_raise(self):
+        with pytest.raises(ConfigError, match="unknown scenario"):
+            scenario("table9-nope")
+        with pytest.raises(ConfigError, match="unknown scenario group"):
+            scenario_group("table9")
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError, match="unknown scenario kind"):
+            ScenarioSpec(name="x", kind="party", group="g")
+
+    def test_attack_kind_requires_attack(self):
+        with pytest.raises(ConfigError, match="attack"):
+            ScenarioSpec(name="x", kind="attack", group="g")
+
+    def test_overhead_kind_requires_workload(self):
+        with pytest.raises(ConfigError, match="workload"):
+            ScenarioSpec(name="x", kind="overhead", group="g")

@@ -99,7 +99,7 @@ class TestSuites:
 
     def test_one_spec_profile_runs(self):
         profile = SPEC_PROFILES["exchange2_s"]
-        short = WorkloadProfile(**{**profile.__dict__, "duration_ms": 20})
+        short = profile.replace(duration_ms=20)
         result, _ = run_on_fresh_kernel(short)
         assert result.slices == 20
 
