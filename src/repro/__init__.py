@@ -52,6 +52,7 @@ from .config import (
 from .core.profile import OfflineProfile, SoftTrrParams
 from .core.softtrr import SoftTrr, SoftTrrStats
 from .errors import SanitizerViolationError
+from .faults import FAULT_SITES, FaultPlan, FaultSpec
 from .kernel.kernel import Kernel
 from .kernel.physmem import FrameUse
 from .machine import Machine, MachineConfig, MachineSnapshot, boot_kernel
@@ -82,6 +83,9 @@ __all__ = [
     "install_sanitizers",
     "sanitized",
     "SanitizerViolationError",
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultSpec",
     "NS_PER_MS",
     "NS_PER_SEC",
     "NS_PER_US",

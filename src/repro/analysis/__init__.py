@@ -7,10 +7,13 @@
 * :mod:`repro.analysis.memory`   — Figures 4 and 5 (LAMP memory cost and
   protected/traced page counts over 60 minutes).
 * :mod:`repro.analysis.robustness` — Table V (LTP syscall stress).
+* :mod:`repro.analysis.chaos`    — fault-injection sweep (protection
+  erosion per ``repro.faults`` site, the ``repro-chaos`` CLI).
 * :mod:`repro.analysis.tables`   — plain-text rendering shared by the
   benchmark targets and EXPERIMENTS.md.
 """
 
+from .chaos import run_chaos_cell, run_chaos_matrix, summarise_matrix
 from .overhead import OverheadRow, measure_suite_overhead
 from .security import Table2Row, run_table2, run_baseline_matrix
 from .memory import run_lamp_series
@@ -19,6 +22,9 @@ from .tables import render_table
 
 __all__ = [
     "OverheadRow",
+    "run_chaos_cell",
+    "run_chaos_matrix",
+    "summarise_matrix",
     "measure_suite_overhead",
     "Table2Row",
     "run_table2",

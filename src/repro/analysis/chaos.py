@@ -1,0 +1,352 @@
+"""Chaos sweep: SoftTRR's protection under injected machine faults.
+
+The paper's security argument (``threshold = timer_inr x (count_limit -
+1)``) silently assumes a perfectly reliable substrate: every timer tick
+fires, every hook notify lands, every RSVD fault reaches the tracer,
+every ``invlpg`` invalidates, every refresh read recharges its row.  The
+chaos harness perturbs exactly those five choke points through
+:mod:`repro.faults` and measures two things per site:
+
+* **protection-window erosion** — simulated nanoseconds of hammer time
+  the tracer effectively lost to unhealed faults (counter-based, so it
+  is deterministic and cheap);
+* **ground truth** — whether any :class:`FlipEvent` landed in an L1PT
+  frame, read straight from the DRAM substrate.
+
+Each cell runs the smoke-scale memory-spray attack on the tiny machine
+with one fault site active, healing on (`HEALING_PARAMS`) or off, under
+the runtime sanitizers in report mode.  ``repro-chaos --check`` gates
+CI: healing on must keep every L1PT clean, and at least one raw cell
+must show measurable erosion (otherwise the injection itself is dead).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..errors import AttackError, ConfigError, ReproError
+from ..faults import FAULT_SITES, FaultPlan, FaultSpec
+from ..machine import Machine, MachineConfig
+from ..scenarios.spec import ScenarioResult, ScenarioSpec
+
+__all__ = [
+    "DEFAULT_INTENSITY",
+    "HEALING_PARAMS",
+    "chaos_specs",
+    "main",
+    "run_chaos_cell",
+    "run_chaos_matrix",
+    "run_chaos_scenario",
+    "site_spec",
+    "summarise_matrix",
+]
+
+#: SoftTrrParams overrides that switch every graceful-degradation
+#: policy on (the "healed" column of the sweep).
+HEALING_PARAMS = {
+    "heal_refresh_retries": 4,
+    "heal_refresh_backoff_ns": 500,
+    "heal_watchdog": True,
+    "heal_resync_every": 4,
+}
+
+#: Default per-opportunity fault probability for every site.
+DEFAULT_INTENSITY = 0.25
+
+#: Fault mode exercised per site in the sweep (one representative mode;
+#: the spec layer supports more).
+_SITE_MODES = {
+    "timers": "drop",
+    "hooks": "drop",
+    "mmu": "swallow",
+    "tlb": "lost_invlpg",
+    "refresher": "fail_refresh",
+}
+
+#: Smoke-scale attack knobs (mirrors the ``smoke`` scenario group).
+_ATTACK_PARAMS = {"m": 1, "region_pages": 224, "template_rounds": 3_000,
+                  "hammer_ns": 4_000_000}
+
+#: SoftTRR timing scaled to the tiny machine (mirrors the registry).
+_TINY_SOFTTRR = {"timer_inr_ns": 50_000}
+
+
+def site_spec(site: str, intensity: float = DEFAULT_INTENSITY,
+              seed: int = 0) -> FaultSpec:
+    """The representative :class:`FaultSpec` for one site."""
+    if site not in _SITE_MODES:
+        raise ConfigError(
+            f"unknown fault site {site!r}; known: {FAULT_SITES}")
+    return FaultSpec(site=site, mode=_SITE_MODES[site],
+                     probability=intensity, seed=seed)
+
+
+def _erosion_ns(site: str, counters: Mapping[str, int],
+                timer_inr_ns: int, protection_window_ns: int) -> int:
+    """Simulated hammer time the tracer lost to unhealed faults.
+
+    A lost tick/notify/fault/invlpg blinds the tracer for roughly one
+    timer interval (the counting granularity); a failed refresh forfeits
+    a whole protection window the refresher believed it had closed.
+    """
+    unhealed = max(0, counters["injected"] - counters["healed"])
+    if site == "refresher":
+        return unhealed * protection_window_ns
+    return unhealed * timer_inr_ns
+
+
+def run_chaos_cell(
+    site: str,
+    intensity: float = DEFAULT_INTENSITY,
+    healing: bool = True,
+    seed: int = 11,
+    machine_name: str = "tiny",
+    defense_params: Optional[Mapping] = None,
+    attack_params: Optional[Mapping] = None,
+) -> dict:
+    """One chaos cell: smoke attack under one active fault site.
+
+    Deterministic in all arguments (seeded injector streams, simulated
+    clock); returns a JSON-stable payload dict.
+    """
+    from ..attacks.memory_spray import MemorySprayAttack
+
+    params = dict(_TINY_SOFTTRR)
+    params.update(defense_params or {})
+    if healing:
+        params.update(HEALING_PARAMS)
+    knobs = dict(_ATTACK_PARAMS)
+    knobs.update(attack_params or {})
+    plan = FaultPlan(specs=(site_spec(site, intensity, seed),), seed=seed)
+    machine = Machine(MachineConfig(
+        machine=machine_name,
+        defense="softtrr",
+        defense_params=params,
+        # Report mode, never strict: a lost invlpg legitimately leaves a
+        # stale TLB entry behind — that is the fault, not a model bug.
+        sanitize=True,
+        strict_sanitizers=False,
+        fault_plan=plan,
+    ))
+    kernel = machine.kernel
+    payload: Dict[str, object] = {
+        "site": site,
+        "mode": _SITE_MODES[site],
+        "intensity": intensity,
+        "healing": healing,
+        "seed": seed,
+    }
+    try:
+        attack = MemorySprayAttack(
+            kernel, m=knobs["m"], region_pages=knobs["region_pages"],
+            template_rounds=knobs["template_rounds"])
+        attack.setup()
+        # Templating flips the attacker's own user pages before any of
+        # them is recycled into an L1PT; only flips after hammering
+        # starts can be protection failures.
+        hammer_start = kernel.clock.now_ns
+        outcome = attack.run(hammer_ns_per_victim=knobs["hammer_ns"])
+    except AttackError as exc:
+        payload.update({
+            "verdict": "blocked",
+            "detail": str(exc)[:60],
+            "l1pt_flip_events": 0,
+            "hammer_time_ns": 0,
+        })
+        targeted: List[int] = []
+    else:
+        targeted = sorted(outcome.targeted_pt_pages)
+        pt_frames = set(kernel.l1pt_frames()) | set(targeted)
+        flips = sum(
+            1
+            for ppn in sorted(pt_frames)
+            for flip in kernel.dram.flips_in_page(ppn)
+            if flip.at_ns >= hammer_start)
+        payload.update({
+            "verdict": "bypassed" if outcome.succeeded else "blocked",
+            "targeted_pt_pages": targeted,
+            "flipped_pt_pages": sorted(outcome.flipped_pt_pages),
+            "l1pt_flip_events": flips,
+            "hammer_time_ns": outcome.hammer_time_ns,
+        })
+    softtrr = machine.softtrr
+    trr_params = softtrr.params
+    site_counters = dict(machine.fault_injector.counters[site])
+    payload["faults"] = site_counters
+    payload["erosion_ns"] = _erosion_ns(
+        site, site_counters, trr_params.timer_inr_ns,
+        trr_params.protection_window_ns)
+    stats = softtrr.stats()
+    payload["healing_stats"] = {
+        "refreshes": stats.refreshes,
+        "failed_refreshes": stats.failed_refreshes,
+        "retried_refreshes": stats.retried_refreshes,
+        "watchdog_refreshes": stats.watchdog_refreshes,
+        "resyncs": stats.resyncs,
+        "resync_repairs": stats.resync_repairs,
+    }
+    sanitizers = machine.sanitizers
+    payload["sanitizer_violations"] = (
+        0 if sanitizers is None else len(sanitizers.checkpoint()))
+    return payload
+
+
+def run_chaos_scenario(spec: ScenarioSpec) -> dict:
+    """Adapter for the scenario runner (``kind="chaos"``)."""
+    params = spec.params
+    return run_chaos_cell(
+        site=params["site"],
+        intensity=params.get("intensity", DEFAULT_INTENSITY),
+        healing=params.get("healing", True),
+        seed=params.get("seed", 11),
+        machine_name=spec.machine,
+        defense_params=spec.defense_params,
+        attack_params={k: params[k] for k in
+                       ("m", "region_pages", "template_rounds", "hammer_ns")
+                       if k in params},
+    )
+
+
+def chaos_specs(
+    sites: Sequence[str] = FAULT_SITES,
+    intensities: Sequence[float] = (DEFAULT_INTENSITY,),
+    seed: int = 11,
+) -> List[ScenarioSpec]:
+    """The sweep grid: every (site, intensity) with healing on and off."""
+    specs = []
+    for site in sites:
+        if site not in _SITE_MODES:
+            raise ConfigError(
+                f"unknown fault site {site!r}; known: {FAULT_SITES}")
+        for intensity in intensities:
+            for healing in (True, False):
+                label = "healed" if healing else "raw"
+                specs.append(ScenarioSpec(
+                    name=f"chaos-{site}-i{intensity:g}-{label}",
+                    kind="chaos",
+                    group="chaos",
+                    title=f"Chaos: {site} at p={intensity:g} ({label})",
+                    machine="tiny",
+                    defense="softtrr",
+                    defense_params=_TINY_SOFTTRR,
+                    params={"site": site, "intensity": intensity,
+                            "healing": healing, "seed": seed},
+                ))
+    return specs
+
+
+def run_chaos_matrix(
+    sites: Sequence[str] = FAULT_SITES,
+    intensities: Sequence[float] = (DEFAULT_INTENSITY,),
+    seed: int = 11,
+    workers: int = 1,
+) -> List[ScenarioResult]:
+    """Run the sweep grid through the scenario runner."""
+    from ..scenarios.runner import run_sweep
+
+    return run_sweep(chaos_specs(sites, intensities, seed), workers=workers)
+
+
+def summarise_matrix(results: Sequence[ScenarioResult]) -> dict:
+    """Per-site healed-vs-raw digest of a chaos sweep."""
+    sites: Dict[str, dict] = {}
+    for result in results:
+        payload = result.payload
+        entry = sites.setdefault(payload["site"], {
+            "healed_l1pt_flip_events": 0,
+            "raw_l1pt_flip_events": 0,
+            "healed_erosion_ns": 0,
+            "raw_erosion_ns": 0,
+        })
+        column = "healed" if payload["healing"] else "raw"
+        entry[f"{column}_l1pt_flip_events"] += payload["l1pt_flip_events"]
+        entry[f"{column}_erosion_ns"] += payload["erosion_ns"]
+    return {
+        "sites": sites,
+        "healed_clean": all(
+            entry["healed_l1pt_flip_events"] == 0
+            for entry in sites.values()),
+        "raw_erosion_seen": any(
+            entry["raw_erosion_ns"] > 0 for entry in sites.values()),
+    }
+
+
+# ---------------------------------------------------------------- the CLI
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-chaos",
+        description=("Sweep fault-injection intensities over SoftTRR and "
+                     "report protection-window erosion per site."),
+    )
+    parser.add_argument(
+        "--sites", nargs="*", default=list(FAULT_SITES),
+        help=f"fault sites to sweep (default: all of {FAULT_SITES})")
+    parser.add_argument(
+        "--intensities", nargs="*", type=float,
+        default=[DEFAULT_INTENSITY],
+        help="per-opportunity fault probabilities (default: 0.25)")
+    parser.add_argument(
+        "--seed", type=int, default=11,
+        help="fault-plan seed (default 11)")
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (results are byte-identical for any value)")
+    parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the JSON report to PATH instead of stdout")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless healing keeps every L1PT clean AND "
+             "at least one raw cell shows erosion (the CI gate)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.workers < 1:
+            raise ConfigError("--workers must be >= 1")
+        results = run_chaos_matrix(
+            sites=args.sites, intensities=args.intensities,
+            seed=args.seed, workers=args.workers)
+    except ReproError as exc:
+        print(f"repro-chaos: error: {exc}", file=sys.stderr)
+        return 2
+    summary = summarise_matrix(results)
+    report = {
+        "intensities": args.intensities,
+        "seed": args.seed,
+        "summary": summary,
+        "cells": [result.to_dict() for result in results],
+    }
+    text = json.dumps(report, sort_keys=True, indent=2) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"[{len(results)} chaos cells -> {args.output}]")
+    else:
+        sys.stdout.write(text)
+    if args.check:
+        failures = []
+        if not summary["healed_clean"]:
+            failures.append("healing enabled still leaked L1PT flip events")
+        if not summary["raw_erosion_seen"]:
+            failures.append("no raw cell showed protection-window erosion "
+                            "(injection dead?)")
+        if failures:
+            for failure in failures:
+                print(f"repro-chaos: CHECK FAILED: {failure}",
+                      file=sys.stderr)
+            return 1
+        print("repro-chaos: check passed "
+              f"({len(results)} cells, healing holds, erosion measurable)",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -25,6 +25,11 @@ rests on:
   strictness, warm-up semantics all live there); a hand-wired kernel
   silently skips those steps. Unit tests keep direct access — they
   exercise layers in isolation by design.
+* **RPR007** — no monkeypatching of :class:`KernelTimers` /
+  :class:`HookManager` delivery methods outside :mod:`repro.faults`.
+  Fault injection goes through the sanctioned injector so that wrapper
+  stacking, snapshot ordering and the ``faults`` counter namespace stay
+  coherent; an ad-hoc wrapper breaks all three silently.
 """
 
 from __future__ import annotations
@@ -275,6 +280,61 @@ class MachineAssemblyRule(LintRule):
             )
 
 
+class FaultChokePointRule(LintRule):
+    """RPR007: timer/hook delivery is wrapped only by ``repro.faults``.
+
+    The fault injector owns the choke points (``KernelTimers._fire`` /
+    ``run_pending``, ``HookManager.notify`` / ``dispatch``): it wraps
+    them with a known stacking order relative to the sanitizers and
+    unwinds them around snapshots.  Assigning over those methods (or
+    ``setattr``-ing them) anywhere else installs an untracked wrapper
+    that snapshots would capture as an "original" and replay dangling.
+    Tests keep the access — they exercise the seams on purpose.
+    """
+
+    rule_id = "RPR007"
+    description = ("no monkeypatching of KernelTimers/HookManager delivery "
+                   "methods outside repro.faults")
+    interests = (ast.Assign, ast.Call)
+    allowed_paths = (
+        "repro/faults/",
+        "tests/",
+    )
+
+    #: Delivery-layer attributes whose rebinding is the injector's
+    #: monopoly.  Generic names (register/unregister/cancel) are left
+    #: out — too many unrelated objects carry them.
+    _CHOKE_METHODS = frozenset({
+        "run_pending", "_fire", "add_periodic", "add_oneshot",
+        "cancel_all", "notify", "dispatch", "hooked", "unregister_all",
+        "hook", "unhook",
+    })
+
+    def check_node(self, node: ast.AST, ctx: LintContext) -> Iterable[Finding]:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (isinstance(target, ast.Attribute)
+                        and target.attr in self._CHOKE_METHODS):
+                    yield self.finding(
+                        ctx, node,
+                        f"assignment over delivery method "
+                        f"'.{target.attr}'; fault injection must go "
+                        "through repro.faults.FaultInjector",
+                    )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Name) and func.id == "setattr"
+                    and len(node.args) >= 2
+                    and isinstance(node.args[1], ast.Constant)
+                    and node.args[1].value in self._CHOKE_METHODS):
+                yield self.finding(
+                    ctx, node,
+                    f"setattr over delivery method "
+                    f"{node.args[1].value!r}; fault injection must go "
+                    "through repro.faults.FaultInjector",
+                )
+
+
 def _bound_names(stmt: ast.stmt) -> Iterable[str]:
     """Names a top-level statement binds (``*`` for a star import)."""
     if isinstance(stmt, ast.Import):
@@ -350,4 +410,5 @@ def default_rules() -> Sequence[LintRule]:
         WriteEntryRule(),
         ExportConsistencyRule(),
         MachineAssemblyRule(),
+        FaultChokePointRule(),
     )

@@ -127,6 +127,27 @@ class SimClock:
         """Cancel a scheduled event.  Cancelling twice is a no-op."""
         self._cancelled.add(event.seq)
 
+    def is_cancelled(self, event: ScheduledEvent) -> bool:
+        """Whether ``event`` has a pending cancellation.
+
+        Needed by dispatchers that popped a batch of due events and then
+        saw one callback cancel a sibling: the sibling is already out of
+        the heap, so the heap-side lazy discard cannot stop it — the
+        dispatcher must check before firing.
+        """
+        return event.seq in self._cancelled
+
+    def discard_cancellation(self, event: ScheduledEvent) -> None:
+        """Forget a pending cancellation for ``event``.
+
+        A dispatcher that skipped firing a cancelled *one-shot* event
+        calls this: no heap copy remains to consume the cancellation
+        lazily.  Periodic events must NOT be discarded by dispatchers —
+        their re-armed instance (same seq) still sits in the heap and
+        relies on the pending cancellation to die at the next pop.
+        """
+        self._cancelled.discard(event.seq)
+
     def next_due_ns(self) -> Optional[int]:
         """Timestamp of the earliest pending event, or ``None``."""
         while self._heap:

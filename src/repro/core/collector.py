@@ -73,6 +73,10 @@ class PageTableCollector:
         """Live adjacent pages."""
         return len(self._adj_refs)
 
+    def adjacent_ppns(self) -> List[int]:
+        """Snapshot list of the currently adjacent PPNs."""
+        return list(self._adj_refs)
+
     def page_rows_of(self, ppn: int) -> List[Tuple[int, int]]:
         """Cached (bank, row) list of a page."""
         rows = self._page_rows_cache.get(ppn)
@@ -123,6 +127,41 @@ class PageTableCollector:
                     if level == 2 and self.on_pmd_alloc(process, table_ppn):
                         count += 1
         return count
+
+    def resync(self) -> int:
+        """Re-walk live kernel state to repair lost-hook desync.
+
+        Graceful-degradation path (``repro.faults``): a dropped
+        ``__pte_alloc`` notify leaves a live L1PT uncollected, a dropped
+        ``__free_pages`` notify leaves a dead one protected.  This pass
+        re-collects every live table and prunes protected page-table
+        entries whose table no longer exists.  Protected *objects*
+        (level 0) are registered explicitly, not via hooks, so they are
+        left alone.  Returns the number of repairs made.
+        """
+        repairs = 0
+        live_l1: Set[int] = set()
+        live_l2: Set[int] = set()
+        for process in list(self.kernel.processes.values()):
+            for l1_ppn in list(process.mm.pte_page_population.keys()):
+                live_l1.add(l1_ppn)
+                if self.on_pt_alloc(process, l1_ppn):
+                    repairs += 1
+            if 2 in self.params.protect_levels:
+                for table_ppn, level in list(process.mm.table_levels.items()):
+                    if level == 2:
+                        live_l2.add(table_ppn)
+                        if self.on_pmd_alloc(process, table_ppn):
+                            repairs += 1
+        for ppn in list(self.structs.pt_rbtree.keys()):
+            stored = self.structs.pt_rbtree.get(ppn)
+            level = stored[1] if stored else 1
+            dead = (level == 1 and ppn not in live_l1) or \
+                   (level == 2 and ppn not in live_l2)
+            if dead:
+                self._remove_pt(ppn)
+                repairs += 1
+        return repairs
 
     def on_pt_alloc(self, process, pt_ppn: int) -> bool:
         """__pte_alloc hook: a (possibly new) L1PT page exists."""

@@ -45,6 +45,18 @@ class SoftTrrParams:
     #: (all existing attacks target L1PTs); (1, 2) enables the Section
     #: VII extension that also protects L2 (PMD) pages.
     protect_levels: tuple = (1,)
+    #: Graceful-degradation knobs (``repro.faults``).  All default to off
+    #: so the paper-faithful configuration is byte-identical to before.
+    #: Extra read attempts when a row refresh fails (0 = give up at one).
+    heal_refresh_retries: int = 0
+    #: Simulated wait before the first retry; doubles per further retry.
+    heal_refresh_backoff_ns: int = 500
+    #: Detect missed timer windows from the simulated clock and compensate
+    #: by shrinking the effective count_limit for one catch-up pass.
+    heal_watchdog: bool = False
+    #: Re-walk collector/tracer state every N ticks (0 = never) to repair
+    #: desync from dropped hook deliveries.
+    heal_resync_every: int = 0
 
     def __post_init__(self) -> None:
         if not 1 <= self.max_distance <= 6:
@@ -61,6 +73,12 @@ class SoftTrrParams:
             )
         if self.trace_bit not in ("rsvd", "present"):
             raise ConfigError("trace_bit must be 'rsvd' or 'present'")
+        if self.heal_refresh_retries < 0:
+            raise ConfigError("heal_refresh_retries must be >= 0")
+        if self.heal_refresh_backoff_ns <= 0:
+            raise ConfigError("heal_refresh_backoff_ns must be positive")
+        if self.heal_resync_every < 0:
+            raise ConfigError("heal_resync_every must be >= 0")
 
     @property
     def protection_window_ns(self) -> int:

@@ -11,11 +11,19 @@ In the simulation the read's row activation heals the disturbance
 accumulator via the DRAM model; the explicit ``refresh_row`` call after
 the read guarantees the recharge even in the corner case where the row
 buffer still held the row open (on real hardware the surrounding bank
-traffic closes it)."""
+traffic closes it).
+
+Graceful degradation (``repro.faults``): a refresh *attempt* can be made
+to fail through the ``attempt_filter`` seam the fault injector wires up.
+With ``SoftTrrParams.heal_refresh_retries`` > 0 a failed attempt is
+retried with doubling simulated backoff; the timer watchdog additionally
+calls :meth:`compensate` after missed timer windows to refresh rows
+whose counters could have crossed the (shrunken) effective limit while
+the module was blind."""
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from .profile import SoftTrrParams
 from .structures import SoftTrrStructures
@@ -32,13 +40,28 @@ class RowRefresher:
         self.mapping = kernel.dram.mapping
         self.refreshes = 0
         self.leak_bumps = 0
+        self.failed_attempts = 0
+        self.failed_refreshes = 0
+        self.retried_refreshes = 0
+        self.watchdog_refreshes = 0
         #: (bank, row, at_ns) log for diagnostics / benches.
         self.refresh_log: List[Tuple[int, int, int]] = []
+        #: Fault-injection seam: returns True when one refresh attempt
+        #: must fail.  None (no injector) means every attempt lands.
+        self.attempt_filter: Optional[Callable[[int, int], bool]] = None
+        injector = getattr(kernel, "fault_injector", None)
+        if injector is not None:
+            self.attempt_filter = injector.refresh_attempt_filter
 
     def on_adjacent_access(self, bank: int, row: int) -> int:
         """An adjacent row was accessed: bump nearby PT rows' counters.
 
         Returns the number of rows refreshed as a consequence.
+
+        The counter resets even when the refresh ultimately failed: the
+        module *believes* it refreshed, which is exactly the erosion the
+        chaos harness measures (the next ``count_limit - 1`` intervals
+        of hammering go unnoticed).
         """
         refreshed = 0
         for pt_row, bank_struct in self.structs.pt_rows_near(
@@ -51,9 +74,49 @@ class RowRefresher:
                 refreshed += 1
         return refreshed
 
-    def refresh(self, bank: int, row: int) -> None:
-        """Recharge one DRAM row holding L1PT pages."""
+    def refresh(self, bank: int, row: int) -> bool:
+        """Recharge one DRAM row holding L1PT pages.
+
+        Retries failed attempts up to ``heal_refresh_retries`` times with
+        doubling simulated backoff.  Returns whether the recharge landed.
+        """
         kernel = self.kernel
+        attempts = 1 + max(0, self.params.heal_refresh_retries)
+        backoff_ns = self.params.heal_refresh_backoff_ns
+        failed = 0
+        for attempt in range(attempts):
+            if attempt > 0:
+                kernel.clock.advance(backoff_ns)
+                kernel.accountant.charge("softtrr_refresh", backoff_ns)
+                backoff_ns *= 2
+            if self._attempt(bank, row):
+                if failed:
+                    self.retried_refreshes += 1
+                    injector = getattr(kernel, "fault_injector", None)
+                    if injector is not None:
+                        injector.note_healed("refresher", failed)
+                self.refreshes += 1
+                self.refresh_log.append((bank, row, kernel.clock.now_ns))
+                return True
+            failed += 1
+        self.failed_refreshes += 1
+        return False
+
+    def _attempt(self, bank: int, row: int) -> bool:
+        """One clflush+read recharge attempt; the injectable unit."""
+        kernel = self.kernel
+        if self.attempt_filter is not None and self.attempt_filter(bank, row):
+            # The read was issued and cost its latency, but the recharge
+            # did not land (modelled failure: e.g. the access served from
+            # a row-buffer hit without re-activating the row).
+            kernel.clock.advance(kernel.cost.row_refresh_ns)
+            kernel.accountant.charge(
+                "softtrr_refresh", kernel.cost.row_refresh_ns)
+            self.failed_attempts += 1
+            injector = getattr(kernel, "fault_injector", None)
+            if injector is not None:
+                injector.note_refresh_failed()
+            return False
         paddr = self.mapping.dram_to_phys(bank, row, 0)
         kvaddr = kernel.kvaddr_of(paddr)
         # clflush + read through the direct map: the read's activation
@@ -63,5 +126,27 @@ class RowRefresher:
         kernel.dram.refresh_row(bank, row)
         kernel.clock.advance(kernel.cost.row_refresh_ns)
         kernel.accountant.charge("softtrr_refresh", kernel.cost.row_refresh_ns)
-        self.refreshes += 1
-        self.refresh_log.append((bank, row, kernel.clock.now_ns))
+        return True
+
+    def compensate(self, missed_windows: int) -> int:
+        """Catch-up pass after the watchdog saw missed timer windows.
+
+        Each missed window is an interval in which a traced page could
+        have taken one *uncounted* access, so the effective limit drops
+        to ``count_limit - missed_windows`` for this pass.  At an
+        effective limit <= 1 nothing observed can be trusted and every
+        tracked (row, bank) is refreshed.  Returns rows refreshed.
+        """
+        effective = max(1, self.params.count_limit - missed_windows)
+        refreshed = 0
+        for row in list(self.structs.pt_row_rbtree.keys()):
+            entry = self.structs.pt_row_rbtree.get(row)
+            if entry is None:
+                continue
+            for bank_index, bank_struct in list(entry.banks.items()):
+                if effective <= 1 or bank_struct.leak_count >= effective:
+                    if self.refresh(bank_index, row):
+                        bank_struct.leak_count = 0
+                        refreshed += 1
+        self.watchdog_refreshes += refreshed
+        return refreshed

@@ -159,3 +159,16 @@ class PteRingBuffer:
                 return
             count += 1
             yield ref
+
+    def peek_all(self):
+        """Yield every pending ref, oldest first, without consuming.
+
+        Diagnostic/resync accessor: the tracer's resync pass uses it to
+        tell a page awaiting re-arm (pending here) from one that fell
+        out of tracing entirely (a dropped trace fault or ring overflow).
+        """
+        for ring in self._rings:
+            index = ring.tail
+            while index != ring.head:
+                yield ring.slots[index]
+                index = (index + 1) % ring.capacity

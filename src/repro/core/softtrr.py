@@ -61,6 +61,13 @@ class SoftTrrStats:
     tree_bytes: int
     ringbuf_bytes: int
     load_time_ns: int
+    # Graceful-degradation counters (``repro.faults``); all zero when no
+    # fault plan is active and healing is off.
+    failed_refreshes: int = 0
+    retried_refreshes: int = 0
+    watchdog_refreshes: int = 0
+    resyncs: int = 0
+    resync_repairs: int = 0
 
 
 class SoftTrr:
@@ -87,6 +94,12 @@ class SoftTrr:
         self._hook_callbacks = []
         self.loaded = False
         self.load_time_ns = 0
+        #: Simulated time of the last *delivered* tick; the watchdog
+        #: compares successive values against timer_inr to detect ticks
+        #: the machine lost (repro.faults timer site).
+        self._last_tick_ns: Optional[int] = None
+        self.resyncs = 0
+        self.resync_repairs = 0
         #: Simulated time the module has added on top of the workload:
         #: timer ticks, captured trace faults (including their kernel
         #: entry), hook work.  The workload engine reads this to keep
@@ -143,12 +156,60 @@ class SoftTrr:
             kernel.hooks.register(point, callback)
         self._timer_event = kernel.timers.add_periodic(
             self.params.timer_inr_ns, self._on_tick, name="softtrr-tick")
+        self._last_tick_ns = kernel.clock.now_ns
         self.loaded = True
 
     def _on_tick(self) -> None:
-        t0 = self.kernel.clock.now_ns
+        kernel = self.kernel
+        t0 = kernel.clock.now_ns
+        params = self.params
+        if params.heal_watchdog and self._last_tick_ns is not None:
+            # Missed-window detection: successive delivered ticks should
+            # be one timer_inr apart; each extra interval is a window in
+            # which a traced page could have taken an uncounted access.
+            gap = t0 - self._last_tick_ns
+            missed = gap // params.timer_inr_ns - 1
+            if missed >= 1:
+                self.refresher.compensate(missed)
+                injector = getattr(kernel, "fault_injector", None)
+                if injector is not None:
+                    injector.note_healed("timers", missed)
         self.tracer.tick()
-        self.overhead_ns += self.kernel.clock.now_ns - t0
+        if (params.heal_resync_every
+                and self.tracer.ticks % params.heal_resync_every == 0):
+            self.resync()
+        self._last_tick_ns = t0
+        self.overhead_ns += kernel.clock.now_ns - t0
+
+    def resync(self) -> int:
+        """Re-walk collector and armed-PTE state (heal_resync_every).
+
+        Repairs the desync left by dropped hook deliveries: uncollected
+        live page tables, stale protected entries, armed records whose
+        PTE lost its mark.  Returns the number of repairs.
+        """
+        if not self.loaded:
+            raise SoftTrrError("SoftTRR not loaded")
+        hook_repairs = self.collector.resync()
+        hook_repairs += self.tracer.resync_armed()
+        flushed = self.tracer.reflush_armed()
+        requeued = self.tracer.requeue_untraced()
+        repairs = hook_repairs + flushed + requeued
+        self.resyncs += 1
+        self.resync_repairs += repairs
+        # Bounded re-walk of live tables: charge like collector hook work.
+        cost = self.kernel.cost.collector_hook_ns * max(1, repairs)
+        self.kernel.clock.advance(cost)
+        self.kernel.accountant.charge("softtrr_collector", cost)
+        injector = getattr(self.kernel, "fault_injector", None)
+        if injector is not None:
+            if hook_repairs:
+                injector.note_healed("hooks", hook_repairs)
+            if flushed:
+                injector.note_healed("tlb", flushed)
+            if requeued:
+                injector.note_healed("mmu", requeued)
+        return repairs
 
     def _on_page_fault(self, process, fault):
         t0 = self.kernel.clock.now_ns
@@ -267,4 +328,9 @@ class SoftTrr:
             tree_bytes=self.structs.live_node_bytes(),
             ringbuf_bytes=self.tracer.ringbuf.capacity_bytes(),
             load_time_ns=self.load_time_ns,
+            failed_refreshes=self.refresher.failed_refreshes,
+            retried_refreshes=self.refresher.retried_refreshes,
+            watchdog_refreshes=self.refresher.watchdog_refreshes,
+            resyncs=self.resyncs,
+            resync_repairs=self.resync_repairs,
         )

@@ -233,6 +233,63 @@ class AdjacentPageTracer:
             if pte_paddr >> 12 == table_ppn:
                 del self._armed[pte_paddr]
 
+    def resync_armed(self) -> int:
+        """Drop armed records whose PTE no longer carries the mark.
+
+        Graceful-degradation path (``repro.faults``): when the
+        ``pte_cleared`` / ``__free_pages`` notify was dropped, the armed
+        registry still references slots the kernel has since zeroed or
+        recycled.  Re-reading each entry and discarding unmarked ones
+        restores the invariant that armed records mirror marked PTEs,
+        unblocking re-arming on recycled slots.  Returns records dropped.
+        """
+        repaired = 0
+        for pte_paddr in list(self._armed):
+            entry = self._read_entry(pte_paddr)
+            if not self._is_marked(entry):
+                del self._armed[pte_paddr]
+                repaired += 1
+        return repaired
+
+    def reflush_armed(self) -> int:
+        """Re-issue ``invlpg`` for armed entries with a live TLB entry.
+
+        Graceful-degradation path (``repro.faults`` tlb site): arming
+        always flushes the translation, so *any* TLB entry covering an
+        armed vaddr is a stale one — a lost shootdown that lets accesses
+        bypass the trace fault entirely.  Returns translations flushed.
+        """
+        flushed = 0
+        for ref in list(self._armed.values()):
+            if self.kernel.mmu.tlb.peek(ref.vaddr) is not None:
+                self.kernel.mmu.invlpg(ref.vaddr)
+                flushed += 1
+        return flushed
+
+    def requeue_untraced(self) -> int:
+        """Put dropped-out adjacent pages back on the arming queue.
+
+        Graceful-degradation path (``repro.faults`` mmu site): a
+        swallowed trace fault disarms the PTE without the ring-buffer
+        re-queue, so the page silently leaves the arm/capture cycle
+        (ring overflow loses pages the same way).  Any *mapped* adjacent
+        page that is neither armed, nor pending in the ring, nor already
+        queued in ``adj_rbtree`` is re-queued for the next tick.
+        Returns pages re-queued.
+        """
+        armed_ppns = {ref.ppn for ref in self._armed.values()}
+        pending_ppns = {ref.ppn for ref in self.ringbuf.peek_all()}
+        adj_tree = self.collector.structs.adj_rbtree
+        requeued = 0
+        for ppn in self.collector.adjacent_ppns():
+            if ppn in armed_ppns or ppn in pending_ppns or ppn in adj_tree:
+                continue
+            if not self.kernel.rmap.is_mapped(ppn):
+                continue
+            adj_tree.insert(ppn, True)
+            requeued += 1
+        return requeued
+
     # ============================================================ teardown
     def disarm_all(self) -> int:
         """Clear the trace bit everywhere (module unload); returns count."""

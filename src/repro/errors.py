@@ -69,6 +69,10 @@ class SoftTrrError(ReproError):
     """An invalid operation against the SoftTRR module itself."""
 
 
+class FaultError(ReproError):
+    """A fault-injection spec or plan is malformed (``repro.faults``)."""
+
+
 class SanitizerViolationError(ReproError):
     """A runtime invariant sanitizer caught a breach (strict mode), or a
     :meth:`SanitizerReport.assert_clean` found accumulated violations."""

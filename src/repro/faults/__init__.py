@@ -1,0 +1,23 @@
+"""Deterministic, seeded fault injection for the simulated stack.
+
+The layer perturbs the five choke points SoftTRR's security argument
+silently trusts — timer delivery, hook delivery, RSVD-fault delivery,
+TLB shootdown, and the row refresh itself — as declarative, seeded
+:class:`FaultSpec`/:class:`FaultPlan` data that
+:class:`~repro.machine.MachineConfig` accepts first-class.  See
+:mod:`repro.faults.spec` for the data model, :mod:`repro.faults.injector`
+for the wrapper mechanics, and :mod:`repro.analysis.chaos` for the
+chaos-sweep harness built on top.
+"""
+
+from .injector import FaultInjector, new_site_counters
+from .spec import FAULT_SITES, SITE_MODES, FaultPlan, FaultSpec
+
+__all__ = [
+    "FAULT_SITES",
+    "SITE_MODES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "new_site_counters",
+]

@@ -1,0 +1,249 @@
+"""The fault injector: installs a :class:`FaultPlan` on a live kernel.
+
+The injector mirrors the sanitizer manager's wrapper discipline
+(:mod:`repro.checkers.sanitizers`): it saves the original callables of
+the five choke points, installs deterministic closures over them, and
+restores everything on :meth:`uninstall`.  Wrapping ``KernelTimers`` /
+``HookManager`` methods anywhere *outside* this package is a lint
+violation (RPR007) — fault injection goes through the sanctioned layer.
+
+Interaction with the other wrapping layers, in install order::
+
+    raw method  ->  sanitizer wrapper  ->  injector wrapper
+
+The injector installs last, so a suppressed event (a lost ``invlpg``, a
+dropped tick) simply never reaches the sanitizer wrapper underneath —
+the sanitizers observe the machine the fault produced, not the fault
+machinery itself.  :meth:`Machine.snapshot` uninstalls the injector
+first and reinstalls it last for the same reason.
+
+Determinism: every decision is drawn from a per-spec
+:func:`repro.rng.derive_rng` stream keyed by the plan seed, the spec's
+position, site, mode and seed.  The streams and opportunity counters
+are plain state on the injector, so a deep copy of ``(kernel, ...,
+injector)`` replays the identical fault stream after a restore.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..rng import derive_rng
+from .spec import FAULT_SITES, FaultPlan, FaultSpec
+
+__all__ = ["FaultInjector", "new_site_counters"]
+
+#: Counter keys kept per site (the ``faults.<site>.*`` namespace).
+_COUNTER_KEYS = ("opportunities", "injected", "suppressed", "delayed",
+                 "healed")
+
+
+def new_site_counters() -> Dict[str, Dict[str, int]]:
+    """A zeroed per-site counter table."""
+    return {site: {key: 0 for key in _COUNTER_KEYS}
+            for site in FAULT_SITES}
+
+
+class FaultInjector:
+    """Installs/uninstalls one fault plan's wrappers on one kernel."""
+
+    def __init__(self, kernel, plan: FaultPlan) -> None:
+        self.kernel = kernel
+        self.plan = plan
+        self.installed = False
+        self._originals: Dict[str, object] = {}
+        #: spec index -> derived RNG stream (travels with deepcopy).
+        self._rngs = {
+            index: derive_rng(
+                "faults", plan.seed, index, spec.site, spec.mode, spec.seed)
+            for index, spec in enumerate(plan.specs)
+        }
+        #: spec index -> opportunities seen at that spec's site.
+        self._opportunities = {index: 0 for index in range(len(plan.specs))}
+        #: site -> {opportunities, injected, suppressed, delayed, healed}.
+        self.counters = new_site_counters()
+
+    # ----------------------------------------------------------- decisions
+    def decide(self, site: str) -> Optional[FaultSpec]:
+        """Roll every spec at ``site`` for this opportunity.
+
+        All specs advance their streams every opportunity (keeping the
+        streams aligned regardless of which spec wins); the first
+        triggered spec in plan order is returned.
+        """
+        self.counters[site]["opportunities"] += 1
+        hit: Optional[FaultSpec] = None
+        for index, spec in enumerate(self.plan.specs):
+            if spec.site != site:
+                continue
+            self._opportunities[index] += 1
+            triggered = self._opportunities[index] in spec.at_opportunities
+            if spec.probability > 0.0:
+                draw = self._rngs[index].random()
+                triggered = draw < spec.probability
+            if triggered and hit is None:
+                hit = spec
+        return hit
+
+    def _applied(self, site: str, mode: str) -> None:
+        counters = self.counters[site]
+        counters["injected"] += 1
+        if mode == "delay":
+            counters["delayed"] += 1
+        else:
+            counters["suppressed"] += 1
+
+    def note_healed(self, site: str, count: int = 1) -> None:
+        """A healing policy repaired ``count`` faults at ``site``.
+
+        Called by SoftTRR's graceful-degradation paths (refresh retry,
+        timer watchdog, collector resync) through the
+        ``kernel.fault_injector`` attribute, so the healed column of the
+        ``faults`` counter namespace pairs with the injected one.
+        """
+        self.counters[site]["healed"] += count
+
+    # ------------------------------------------------------------- install
+    def install(self) -> "FaultInjector":
+        """Wrap the choke points; idempotent per injector."""
+        if self.installed:
+            return self
+        kernel = self.kernel
+        timers = kernel.timers
+        hooks = kernel.hooks
+        mmu = kernel.mmu
+        self._originals = {
+            "timer_fire": timers._fire,
+            "notify": hooks.notify,
+            "handle_page_fault": kernel.handle_page_fault,
+            "invlpg": mmu.invlpg,
+        }
+        injector = self
+        orig_fire = self._originals["timer_fire"]
+        orig_notify = self._originals["notify"]
+        orig_fault = self._originals["handle_page_fault"]
+        orig_invlpg = self._originals["invlpg"]
+
+        def timer_fire(event):
+            spec = injector.decide("timers")
+            if spec is None:
+                return orig_fire(event)
+            if spec.mode == "delay":
+                # Defer just this firing; a periodic event's next period
+                # is already re-armed by the clock, untouched.
+                kernel.clock.schedule(
+                    spec.magnitude_ns, event.callback,
+                    name=event.name or "delayed-tick")
+            injector._applied("timers", spec.mode)
+            return False
+
+        def notify(point, *args, **kwargs):
+            spec = injector.decide("hooks")
+            if spec is None:
+                return orig_notify(point, *args, **kwargs)
+            # The kernel reached the hook point either way.
+            hooks.dispatch_count[point] += 1
+            if spec.mode == "reorder":
+                for callback in reversed(hooks.callbacks(point)):
+                    callback(*args, **kwargs)
+            injector._applied("hooks", spec.mode)
+
+        def handle_page_fault(process, fault):
+            if fault.is_reserved_bit and fault.pte_paddr is not None:
+                tracer = injector._tracer()
+                if tracer is not None and fault.pte_paddr in tracer._armed:
+                    spec = injector.decide("mmu")
+                    if spec is not None:
+                        injector._swallow(tracer, fault)
+                        injector._applied("mmu", spec.mode)
+                        return None
+            return orig_fault(process, fault)
+
+        def invlpg(vaddr):
+            spec = injector.decide("tlb")
+            if spec is None:
+                return orig_invlpg(vaddr)
+            # The shootdown is issued (and costs its latency) but the
+            # stale translation survives.
+            kernel.clock.advance(mmu.invlpg_ns)
+            injector._applied("tlb", spec.mode)
+
+        timers._fire = timer_fire
+        hooks.notify = notify
+        kernel.handle_page_fault = handle_page_fault
+        mmu.invlpg = invlpg
+        kernel.fault_injector = self
+        self._wire_refresher()
+        self.installed = True
+        return self
+
+    def uninstall(self) -> None:
+        """Restore the wrapped methods."""
+        if not self.installed:
+            return
+        kernel = self.kernel
+        kernel.timers._fire = self._originals["timer_fire"]
+        kernel.hooks.notify = self._originals["notify"]
+        kernel.handle_page_fault = self._originals["handle_page_fault"]
+        kernel.mmu.invlpg = self._originals["invlpg"]
+        self._originals = {}
+        refresher = self._refresher()
+        if refresher is not None and refresher.attempt_filter is not None:
+            refresher.attempt_filter = None
+        if getattr(kernel, "fault_injector", None) is self:
+            kernel.fault_injector = None
+        self.installed = False
+
+    # -------------------------------------------------------- site helpers
+    def _softtrr(self):
+        module = self.kernel.module("softtrr")
+        return module if module is not None and module.loaded else None
+
+    def _tracer(self):
+        module = self._softtrr()
+        return None if module is None else module.tracer
+
+    def _refresher(self):
+        module = self._softtrr()
+        return None if module is None else module.refresher
+
+    def _wire_refresher(self) -> None:
+        """Attach the refresher seam if the module is already loaded.
+
+        A module loaded *after* install self-wires: ``RowRefresher``
+        picks the filter up from ``kernel.fault_injector`` at
+        construction time.
+        """
+        refresher = self._refresher()
+        if refresher is not None:
+            refresher.attempt_filter = self.refresh_attempt_filter
+
+    def refresh_attempt_filter(self, bank: int, row: int) -> bool:
+        """Refresher seam: True when this refresh attempt must fail."""
+        return self.decide("refresher") is not None
+
+    def note_refresh_failed(self) -> None:
+        """Book a failed refresh attempt (called by the refresher)."""
+        self._applied("refresher", "fail_refresh")
+
+    def _swallow(self, tracer, fault) -> None:
+        """Swallow one armed-PTE trace fault: the hardware fault entered
+        the kernel, but the tracer never hears of it.
+
+        The entry must still be disarmed (through the write-entry choke
+        point) and its stale translation flushed — otherwise the user
+        access would refault forever.  What is *lost* is the accounting:
+        no charge-leak bump, no ring-buffer re-queue, so the page drops
+        out of tracing until it is re-collected.
+        """
+        kernel = self.kernel
+        kernel.faults_handled += 1
+        kernel.clock.advance(kernel.cost.page_fault_overhead_ns)
+        kernel.accountant.charge(
+            "page_fault", kernel.cost.page_fault_overhead_ns)
+        entry = tracer._read_entry(fault.pte_paddr)
+        ref = tracer._armed.pop(fault.pte_paddr, None)
+        if tracer._is_marked(entry):
+            tracer._write_entry(fault.pte_paddr, tracer._unmark(entry))
+        if ref is not None:
+            kernel.mmu.invlpg(ref.vaddr)

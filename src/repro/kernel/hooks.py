@@ -86,6 +86,20 @@ class HookManager:
         except ValueError:
             raise HookError(f"callback not hooked on {point!r}") from None
 
+    def hook(self, point: str, callback: Callable) -> None:
+        """Install a detour — the paper's vocabulary for :meth:`register`."""
+        self.register(point, callback)
+
+    def unhook(self, point: str, callback: Callable) -> None:
+        """Remove a detour — the paper's vocabulary for :meth:`unregister`.
+
+        Raises :class:`~repro.errors.HookError` (never ``ValueError``,
+        never a silent pass) when the point is unknown or the callback
+        was not hooked, keeping it exactly symmetric with :meth:`hook`,
+        which rejects double installation the same way.
+        """
+        self.unregister(point, callback)
+
     def unregister_all(self, owner_callbacks) -> None:
         """Remove every callback in ``owner_callbacks`` wherever installed.
 
@@ -102,6 +116,12 @@ class HookManager:
         if point not in self._hooks:
             raise HookError(f"unknown hook point {point!r}")
         return len(self._hooks[point])
+
+    def callbacks(self, point: str) -> List[Callable]:
+        """A copy of the callbacks installed on a point, in order."""
+        if point not in self._hooks:
+            raise HookError(f"unknown hook point {point!r}")
+        return list(self._hooks[point])
 
     # ---------------------------------------------------------- dispatch
     def notify(self, point: str, *args, **kwargs) -> None:

@@ -55,6 +55,13 @@ class KernelTimers:
         Note: periodic timers re-arm inside ``pop_due`` and their
         callbacks may themselves advance the clock; the loop drains
         until no event is due at the (possibly advanced) current time.
+
+        A callback may cancel a *sibling* event of the same due batch;
+        the sibling is already out of the clock's heap at that point,
+        so the cancellation is honoured here, before firing.  A skipped
+        one-shot consumes its cancellation; a skipped periodic leaves
+        it pending so the re-armed heap instance (same seq) dies at the
+        next pop.
         """
         ran = 0
         while True:
@@ -62,6 +69,21 @@ class KernelTimers:
             if not due:
                 return ran
             for event in due:
-                event.callback()
-                ran += 1
-                self.fired += 1
+                if self.clock.is_cancelled(event):
+                    if event.period_ns == 0:
+                        self.clock.discard_cancellation(event)
+                    continue
+                if self._fire(event):
+                    ran += 1
+
+    def _fire(self, event: ScheduledEvent) -> bool:
+        """Fire one due event; returns whether it ran.
+
+        This is the per-tick choke point the fault injector wraps
+        (``repro.faults``; lint rule RPR007 keeps every other module
+        away from it) — a dropped or delayed tick is a ``_fire`` that
+        returns False without running the callback.
+        """
+        event.callback()
+        self.fired += 1
+        return True

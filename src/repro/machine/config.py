@@ -70,6 +70,10 @@ class MachineConfig:
     batch: Optional[bool] = None
     #: Override the machine profile's seed (None = profile default).
     seed: Optional[int] = None
+    #: Deterministic fault plan installed at assembly (``repro.faults``).
+    #: Accepts a :class:`~repro.faults.FaultPlan` or its dict form
+    #: (scenario params travel as plain JSON); ``None`` = no injection.
+    fault_plan: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.machine not in MACHINES and self.machine != "tiny":
@@ -81,6 +85,11 @@ class MachineConfig:
             raise ConfigError("strict_sanitizers requires sanitize=True")
         # Normalise to a plain dict so configs pickle/compare cleanly.
         object.__setattr__(self, "defense_params", dict(self.defense_params))
+        if self.fault_plan is not None:
+            from ..faults import FaultPlan
+
+            object.__setattr__(
+                self, "fault_plan", FaultPlan.coerce(self.fault_plan))
 
     def build_spec(self) -> MachineSpec:
         """The machine profile this config names (seed applied)."""

@@ -48,7 +48,7 @@ class MachineSnapshot:
         self.taken_at_ns = taken_at_ns
 
     def materialise(self):
-        """A fresh (kernel, defense, sanitizer manager) replica."""
+        """A fresh (kernel, defense, manager, injector) replica."""
         return copy.deepcopy(self._state)
 
 
@@ -73,6 +73,7 @@ class Machine:
             config.build_defense(),
             sanitize=config.sanitize,
             strict=config.strict_sanitizers,
+            fault_plan=config.fault_plan,
         )
 
     @classmethod
@@ -84,6 +85,7 @@ class Machine:
         sanitize: bool = False,
         strict_sanitizers: bool = False,
         batch: Optional[bool] = None,
+        fault_plan=None,
     ) -> "Machine":
         """Assemble from already-built spec/defense objects.
 
@@ -100,11 +102,12 @@ class Machine:
 
             defense = NoDefense()
         self._assemble(
-            spec, defense, sanitize=sanitize, strict=strict_sanitizers)
+            spec, defense, sanitize=sanitize, strict=strict_sanitizers,
+            fault_plan=fault_plan)
         return self
 
     def _assemble(self, spec: MachineSpec, defense, *, sanitize: bool,
-                  strict: bool) -> None:
+                  strict: bool, fault_plan=None) -> None:
         self.spec = spec
         self.defense = defense
         self.kernel = Kernel(
@@ -120,6 +123,16 @@ class Machine:
         elif strict:
             self.kernel.sanitizers.strict = True
         defense.install(self.kernel)
+        # The fault injector installs LAST so its wrappers sit outermost
+        # (raw -> sanitizer -> injector): a suppressed event never reaches
+        # the sanitizer underneath, which observes the machine the fault
+        # produced rather than the fault machinery itself.
+        self.fault_injector = None
+        if fault_plan is not None and fault_plan:
+            from ..faults import FaultInjector, FaultPlan
+
+            plan = FaultPlan.coerce(fault_plan)
+            self.fault_injector = FaultInjector(self.kernel, plan).install()
 
     # ======================================================== conveniences
     @property
@@ -228,6 +241,11 @@ class Machine:
         if softtrr is not None:
             for key, value in vars(softtrr.stats()).items():
                 out[f"softtrr.{key}"] = value
+        injector = self.fault_injector
+        if injector is not None:
+            for site, table in injector.counters.items():
+                for key, value in table.items():
+                    out[f"faults.{site}.{key}"] = value
         return out
 
     # ==================================================== snapshot/restore
@@ -241,19 +259,29 @@ class Machine:
         heap (bound-method callbacks rebind to the copied objects via
         deepcopy memoization).
 
-        The sanitizer manager wraps kernel choke points with closures
-        over the live objects, which a naive deepcopy would leak into
-        the copy — so the manager is uninstalled around the copy and
-        reinstalled on both sides.
+        The sanitizer manager and fault injector wrap kernel choke
+        points with closures over the live objects, which a naive
+        deepcopy would leak into the copy — so both are uninstalled
+        around the copy and reinstalled on both sides.  The injector
+        installs outermost, so it uninstalls FIRST and reinstalls LAST
+        (reverse order would capture each other's wrappers as
+        "originals" and restore dangling closures, e.g. on the shared
+        ``mmu.invlpg`` site).
         """
         manager = self.kernel.sanitizers
+        injector = self.fault_injector
+        if injector is not None:
+            injector.uninstall()
         if manager is not None:
             manager.uninstall()
         try:
-            state = copy.deepcopy((self.kernel, self.defense, manager))
+            state = copy.deepcopy(
+                (self.kernel, self.defense, manager, injector))
         finally:
             if manager is not None:
                 manager.install()
+            if injector is not None:
+                injector.install()
         return MachineSnapshot(state, self.kernel.clock.now_ns)
 
     def restore(self, snap: MachineSnapshot) -> "Machine":
@@ -264,11 +292,14 @@ class Machine:
         original run bit-for-bit: identical FlipEvents, counters and
         simulated nanoseconds.
         """
-        kernel, defense, manager = snap.materialise()
+        kernel, defense, manager, injector = snap.materialise()
         self.kernel = kernel
         self.defense = defense
         if manager is not None:
             manager.install()
+        self.fault_injector = injector
+        if injector is not None:
+            injector.install()
         return self
 
 

@@ -15,6 +15,8 @@ subset can be handed to :func:`repro.scenarios.runner.run_sweep` (or the
 ``lamp``       Figures 4–5 LAMP memory/page series (Δ±1 and Δ±6).
 ``anatomy``    The DP3 overhead decomposition (extra bench).
 ``smoke``      A seconds-scale subset used by CI and the test suite.
+``chaos``      Fault-injection cells (one per ``repro.faults`` site,
+               healing on and off) backing the ``repro-chaos`` harness.
 
 Scale choices match the benchmarks' laptop-friendly small mode; a
 sweep is meant to regenerate the tables' *shape and verdicts*, with
@@ -244,10 +246,31 @@ def _smoke() -> List[ScenarioSpec]:
     ]
 
 
+def _chaos() -> List[ScenarioSpec]:
+    from ..faults import FAULT_SITES
+
+    out = []
+    for site in FAULT_SITES:
+        for healing in (True, False):
+            label = "healed" if healing else "raw"
+            out.append(ScenarioSpec(
+                name=f"chaos-{site}-{label}",
+                kind="chaos",
+                group="chaos",
+                title=(f"Chaos: {site} faults at default intensity "
+                       f"({'healing on' if healing else 'healing off'})"),
+                machine="tiny",
+                defense="softtrr",
+                defense_params=_TINY_SOFTTRR,
+                params={"site": site, "healing": healing},
+            ))
+    return out
+
+
 def _build() -> Dict[str, ScenarioSpec]:
     registry: Dict[str, ScenarioSpec] = {}
     for builder in (_table2, _baselines, _table3, _table4, _table5,
-                    _lamp, _anatomy, _smoke):
+                    _lamp, _anatomy, _smoke, _chaos):
         for spec in builder():
             if spec.name in registry:
                 raise ConfigError(f"duplicate scenario name {spec.name!r}")

@@ -194,12 +194,20 @@ def _run_stress(spec: ScenarioSpec) -> dict:
     }
 
 
+# ----------------------------------------------------------------- chaos
+def _run_chaos(spec: ScenarioSpec) -> dict:
+    from ..analysis.chaos import run_chaos_scenario
+
+    return run_chaos_scenario(spec)
+
+
 _RUNNERS = {
     "attack": _run_attack,
     "overhead": _run_overhead,
     "breakdown": _run_breakdown,
     "lamp": _run_lamp,
     "stress": _run_stress,
+    "chaos": _run_chaos,
 }
 
 

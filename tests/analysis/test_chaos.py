@@ -1,0 +1,94 @@
+"""Chaos sweep harness: specs, summarisation, one cheap live cell."""
+
+import pytest
+
+from repro.analysis.chaos import (
+    DEFAULT_INTENSITY,
+    chaos_specs,
+    run_chaos_cell,
+    summarise_matrix,
+)
+from repro.errors import ConfigError
+from repro.faults import FAULT_SITES
+from repro.scenarios.registry import scenario_group
+from repro.scenarios.spec import ScenarioResult
+
+#: Small enough that templating finds nothing and the attack is blocked
+#: quickly — the cell's bookkeeping is what is under test here.
+CHEAP = {"m": 1, "region_pages": 64, "template_rounds": 200,
+         "hammer_ns": 200_000}
+
+
+class TestSpecs:
+    def test_grid_covers_sites_and_both_columns(self):
+        specs = chaos_specs(intensities=(0.1, 0.5))
+        assert len(specs) == len(FAULT_SITES) * 2 * 2
+        names = {spec.name for spec in specs}
+        assert "chaos-timers-i0.1-healed" in names
+        assert "chaos-refresher-i0.5-raw" in names
+        assert all(spec.kind == "chaos" and spec.group == "chaos"
+                   for spec in specs)
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigError):
+            chaos_specs(sites=("cache",))
+
+    def test_registry_group_registered(self):
+        specs = scenario_group("chaos")
+        assert len(specs) == len(FAULT_SITES) * 2
+        assert all(spec.kind == "chaos" for spec in specs)
+        healed = [s for s in specs if s.params["healing"]]
+        assert len(healed) == len(FAULT_SITES)
+
+
+class TestSummarise:
+    @staticmethod
+    def _result(site, healing, flips, erosion):
+        return ScenarioResult(
+            name=f"x-{site}-{healing}", kind="chaos", group="chaos",
+            payload={"site": site, "healing": healing,
+                     "l1pt_flip_events": flips, "erosion_ns": erosion})
+
+    def test_clean_matrix(self):
+        summary = summarise_matrix([
+            self._result("timers", True, 0, 0),
+            self._result("timers", False, 0, 400_000),
+        ])
+        assert summary["healed_clean"] is True
+        assert summary["raw_erosion_seen"] is True
+        assert summary["sites"]["timers"]["raw_erosion_ns"] == 400_000
+
+    def test_healed_flip_fails_the_gate(self):
+        summary = summarise_matrix([
+            self._result("mmu", True, 1, 0),
+            self._result("mmu", False, 2, 100_000),
+        ])
+        assert summary["healed_clean"] is False
+
+    def test_dead_injection_fails_the_gate(self):
+        summary = summarise_matrix([
+            self._result("tlb", True, 0, 0),
+            self._result("tlb", False, 0, 0),
+        ])
+        assert summary["raw_erosion_seen"] is False
+
+
+class TestLiveCell:
+    def test_cell_payload_shape_and_determinism(self):
+        first = run_chaos_cell("tlb", intensity=DEFAULT_INTENSITY,
+                               healing=False, attack_params=CHEAP)
+        second = run_chaos_cell("tlb", intensity=DEFAULT_INTENSITY,
+                                healing=False, attack_params=CHEAP)
+        assert first == second
+        assert first["site"] == "tlb"
+        assert first["mode"] == "lost_invlpg"
+        assert first["verdict"] in ("blocked", "bypassed")
+        assert first["faults"]["opportunities"] > 0
+        assert first["erosion_ns"] >= 0
+        for key in ("l1pt_flip_events", "healing_stats",
+                    "sanitizer_violations"):
+            assert key in first
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigError):
+            run_chaos_cell("cache", attack_params=CHEAP)

@@ -11,6 +11,7 @@ import pytest
 from repro.checkers.framework import lint_source, parse_suppressions
 from repro.checkers.rules import (
     ExportConsistencyRule,
+    FaultChokePointRule,
     MachineAssemblyRule,
     RawBitLiteralRule,
     UnseededRandomRule,
@@ -221,6 +222,46 @@ class TestMachineAssemblyRule:
                    rules=[MachineAssemblyRule()]) == []
 
 
+class TestFaultChokePointRule:
+    def test_assignment_over_fire_flagged(self):
+        findings = run("timers._fire = my_wrapper\n",
+                       rules=[FaultChokePointRule()])
+        assert ids(findings) == ["RPR007"]
+
+    def test_assignment_over_notify_flagged(self):
+        findings = run("kernel.hooks.notify = chaos_notify\n",
+                       rules=[FaultChokePointRule()])
+        assert ids(findings) == ["RPR007"]
+
+    def test_setattr_spelling_flagged(self):
+        findings = run("setattr(timers, 'run_pending', wrapper)\n",
+                       rules=[FaultChokePointRule()])
+        assert ids(findings) == ["RPR007"]
+
+    def test_allowed_in_faults_package(self):
+        assert run("timers._fire = wrapper\n",
+                   rel_path="src/repro/faults/injector.py",
+                   rules=[FaultChokePointRule()]) == []
+
+    def test_allowed_in_tests(self):
+        assert run("timers._fire = wrapper\n",
+                   rel_path="tests/faults/test_injector.py",
+                   rules=[FaultChokePointRule()]) == []
+
+    def test_suppressed(self):
+        src = "hooks.notify = wrapper  # repro-lint: disable=RPR007\n"
+        assert run(src, rules=[FaultChokePointRule()]) == []
+
+    def test_innocent_attributes_ignored(self):
+        assert run("timers.fired = 3\nobj.notify_count = 1\n"
+                   "setattr(obj, name, wrapper)\n",
+                   rules=[FaultChokePointRule()]) == []
+
+    def test_plain_method_calls_ignored(self):
+        assert run("timers.run_pending()\nhooks.notify('pt_alloc')\n",
+                   rules=[FaultChokePointRule()]) == []
+
+
 class TestFramework:
     def test_disable_all(self):
         src = "import time  # repro-lint: disable=all\n"
@@ -252,4 +293,5 @@ class TestFramework:
 
     def test_default_rules_ids_stable(self):
         assert [r.rule_id for r in default_rules()] == [
-            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"]
+            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
+            "RPR007"]

@@ -1,0 +1,151 @@
+"""FaultInjector: decision streams, wrapper install/uninstall, counters."""
+
+from repro.faults import FaultInjector, FaultPlan, FaultSpec, new_site_counters
+from repro.kernel.hooks import HOOK_FREE_PAGES
+from repro.kernel.timer import KernelTimers
+from repro.machine import Machine
+
+
+def _plan(*specs, seed=0):
+    return FaultPlan(specs=tuple(specs), seed=seed)
+
+
+class TestDecide:
+    def test_same_plan_same_decision_stream(self):
+        plan = _plan(FaultSpec(site="timers", mode="drop", probability=0.3),
+                     seed=7)
+        first = FaultInjector(None, plan)
+        second = FaultInjector(None, plan)
+        decisions = [(first.decide("timers"), second.decide("timers"))
+                     for _ in range(200)]
+        assert all(a == b for a, b in decisions)
+        assert any(a is not None for a, _ in decisions)
+        assert any(a is None for a, _ in decisions)
+
+    def test_plan_seed_shifts_the_stream(self):
+        spec = FaultSpec(site="timers", mode="drop", probability=0.3)
+        a = FaultInjector(None, _plan(spec, seed=1))
+        b = FaultInjector(None, _plan(spec, seed=2))
+        assert ([a.decide("timers") for _ in range(200)]
+                != [b.decide("timers") for _ in range(200)])
+
+    def test_schedule_triggers_exact_opportunities(self):
+        plan = _plan(FaultSpec(site="tlb", mode="lost_invlpg",
+                               at_opportunities=(2, 5)))
+        injector = FaultInjector(None, plan)
+        hits = [i for i in range(1, 9)
+                if injector.decide("tlb") is not None]
+        assert hits == [2, 5]
+
+    def test_first_triggered_spec_wins(self):
+        early = FaultSpec(site="timers", mode="drop",
+                          at_opportunities=(1,))
+        late = FaultSpec(site="timers", mode="delay",
+                         at_opportunities=(1,), magnitude_ns=10)
+        injector = FaultInjector(None, _plan(early, late))
+        assert injector.decide("timers") is early
+
+    def test_opportunities_counted_even_without_specs(self):
+        injector = FaultInjector(None, _plan())
+        injector.decide("mmu")
+        injector.decide("mmu")
+        assert injector.counters["mmu"]["opportunities"] == 2
+        assert injector.counters["mmu"]["injected"] == 0
+
+    def test_note_healed_accumulates(self):
+        injector = FaultInjector(None, _plan())
+        injector.note_healed("hooks", 3)
+        injector.note_healed("hooks")
+        assert injector.counters["hooks"]["healed"] == 4
+
+    def test_new_site_counters_shape(self):
+        table = new_site_counters()
+        assert set(table) == {"timers", "hooks", "mmu", "tlb", "refresher"}
+        assert all(set(row) == {"opportunities", "injected", "suppressed",
+                                "delayed", "healed"}
+                   for row in table.values())
+
+
+class TestInstalledWrappers:
+    def test_machine_accepts_plan_and_exposes_counters(self):
+        plan = _plan(FaultSpec(site="timers", mode="drop", probability=0.5))
+        m = Machine(machine="tiny", fault_plan=plan)
+        assert m.fault_injector is not None
+        assert m.fault_injector.installed
+        assert m.counters()["faults.timers.opportunities"] == 0
+
+    def test_empty_plan_installs_nothing(self):
+        m = Machine(machine="tiny", fault_plan=FaultPlan())
+        assert m.fault_injector is None
+
+    def test_uninstall_restores_the_choke_points(self):
+        plan = _plan(FaultSpec(site="timers", mode="drop", probability=0.5))
+        m = Machine(machine="tiny", fault_plan=plan)
+        kernel = m.kernel
+        m.fault_injector.uninstall()
+        assert kernel.timers._fire.__func__ is KernelTimers._fire
+        assert kernel.fault_injector is None
+        # Idempotent both ways.
+        m.fault_injector.uninstall()
+        m.fault_injector.install()
+        assert kernel.fault_injector is m.fault_injector
+
+    def test_dropped_tick_never_reaches_softtrr(self):
+        # p=1.0: every tick is dropped, including any boot-time fires.
+        plan = _plan(FaultSpec(site="timers", mode="drop",
+                               probability=1.0))
+        m = Machine(machine="tiny", defense="softtrr",
+                    defense_params={"timer_inr_ns": 50_000},
+                    fault_plan=plan)
+        tracer = m.softtrr.tracer
+        t0 = tracer.ticks  # the load-time arming pass ticks once
+        m.clock.advance(50_000)
+        m.kernel.dispatch_timers()
+        assert tracer.ticks == t0
+        assert m.counters()["faults.timers.injected"] >= 1
+        # The periodic re-armed independently of the drop: with the
+        # injector gone, the next tick lands.
+        m.fault_injector.uninstall()
+        m.clock.advance(50_000)
+        m.kernel.dispatch_timers()
+        assert tracer.ticks > t0
+
+    def test_delayed_tick_fires_later(self):
+        plan = _plan(FaultSpec(site="timers", mode="delay",
+                               probability=1.0, magnitude_ns=10_000))
+        m = Machine(machine="tiny", defense="softtrr",
+                    defense_params={"timer_inr_ns": 50_000},
+                    fault_plan=plan)
+        tracer = m.softtrr.tracer
+        t0 = tracer.ticks  # the load-time arming pass ticks once
+        m.clock.advance(50_000)
+        m.kernel.dispatch_timers()
+        assert tracer.ticks == t0
+        assert m.counters()["faults.timers.delayed"] >= 1
+        # The deferred callback is pending in the clock; once the
+        # injector stops re-delaying it, it fires after the deferral.
+        m.fault_injector.uninstall()
+        m.clock.advance(10_000)
+        m.kernel.dispatch_timers()
+        assert tracer.ticks > t0
+
+    def test_lost_invlpg_is_booked(self):
+        plan = _plan(FaultSpec(site="tlb", mode="lost_invlpg",
+                               at_opportunities=(1,)))
+        m = Machine(machine="tiny", fault_plan=plan)
+        m.kernel.mmu.invlpg(0x4000)
+        assert m.counters()["faults.tlb.suppressed"] == 1
+
+    def test_dropped_notify_skips_callbacks_but_counts_dispatch(self):
+        plan = _plan(FaultSpec(site="hooks", mode="drop",
+                               at_opportunities=(1,)))
+        m = Machine(machine="tiny", fault_plan=plan)
+        hooks = m.kernel.hooks
+        seen = []
+        hooks.hook(HOOK_FREE_PAGES, lambda *a: seen.append(a))
+        before = hooks.dispatch_count[HOOK_FREE_PAGES]
+        hooks.notify(HOOK_FREE_PAGES, 1, 0, None)
+        assert seen == []
+        assert hooks.dispatch_count[HOOK_FREE_PAGES] == before + 1
+        hooks.notify(HOOK_FREE_PAGES, 1, 0, None)
+        assert len(seen) == 1

@@ -1,0 +1,120 @@
+"""Validation and serialisation of FaultSpec / FaultPlan."""
+
+import pytest
+
+from repro.errors import FaultError, ReproError
+from repro.faults import FAULT_SITES, SITE_MODES, FaultPlan, FaultSpec
+
+
+class TestFaultSpecValidation:
+    def test_probability_spec(self):
+        spec = FaultSpec(site="timers", mode="drop", probability=0.5)
+        assert spec.site == "timers"
+        assert spec.at_opportunities == ()
+
+    def test_schedule_spec(self):
+        spec = FaultSpec(site="tlb", mode="lost_invlpg",
+                         at_opportunities=[1, 3, 8])
+        assert spec.at_opportunities == (1, 3, 8)
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(FaultError):
+            FaultSpec(site="cache", mode="drop", probability=0.5)
+
+    def test_mode_must_match_site(self):
+        with pytest.raises(FaultError):
+            FaultSpec(site="timers", mode="swallow", probability=0.5)
+
+    def test_every_listed_mode_constructs(self):
+        for site in FAULT_SITES:
+            for mode in SITE_MODES[site]:
+                magnitude = 100 if mode == "delay" else 0
+                FaultSpec(site=site, mode=mode, probability=0.5,
+                          magnitude_ns=magnitude)
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(FaultError):
+            FaultSpec(site="timers", mode="drop", probability=1.5)
+
+    def test_exactly_one_trigger_required(self):
+        with pytest.raises(FaultError):
+            FaultSpec(site="timers", mode="drop")
+        with pytest.raises(FaultError):
+            FaultSpec(site="timers", mode="drop", probability=0.5,
+                      at_opportunities=(1,))
+
+    def test_schedule_must_be_increasing_one_based(self):
+        with pytest.raises(FaultError):
+            FaultSpec(site="timers", mode="drop", at_opportunities=(3, 1))
+        with pytest.raises(FaultError):
+            FaultSpec(site="timers", mode="drop", at_opportunities=(0,))
+        with pytest.raises(FaultError):
+            FaultSpec(site="timers", mode="drop", at_opportunities=(2, 2))
+
+    def test_magnitude_only_for_delay(self):
+        with pytest.raises(FaultError):
+            FaultSpec(site="timers", mode="drop", probability=0.5,
+                      magnitude_ns=100)
+        with pytest.raises(FaultError):
+            FaultSpec(site="timers", mode="delay", probability=0.5)
+
+    def test_fault_error_is_a_repro_error(self):
+        with pytest.raises(ReproError):
+            FaultSpec(site="nope", mode="drop", probability=0.5)
+
+    def test_replace(self):
+        spec = FaultSpec(site="timers", mode="drop", probability=0.5)
+        assert spec.replace(probability=0.25).probability == 0.25
+
+    def test_coerce_roundtrips_to_dict(self):
+        spec = FaultSpec(site="hooks", mode="reorder", probability=0.1,
+                         seed=3)
+        assert FaultSpec.coerce(spec.to_dict()) == spec
+        assert FaultSpec.coerce(spec) is spec
+
+    def test_coerce_rejects_garbage(self):
+        with pytest.raises(FaultError):
+            FaultSpec.coerce(42)
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert FaultPlan(specs=(
+            FaultSpec(site="timers", mode="drop", probability=0.5),))
+
+    def test_specs_hydrated_from_dicts(self):
+        plan = FaultPlan(specs=(
+            {"site": "mmu", "mode": "swallow", "probability": 0.2},))
+        assert plan.specs[0] == FaultSpec(site="mmu", mode="swallow",
+                                          probability=0.2)
+
+    def test_for_site_filters_in_plan_order(self):
+        a = FaultSpec(site="timers", mode="drop", probability=0.5)
+        b = FaultSpec(site="tlb", mode="lost_invlpg", probability=0.5)
+        c = FaultSpec(site="timers", mode="delay", probability=0.5,
+                      magnitude_ns=10)
+        plan = FaultPlan(specs=(a, b, c))
+        assert plan.for_site("timers") == (a, c)
+        assert plan.for_site("refresher") == ()
+
+    def test_for_site_rejects_unknown(self):
+        with pytest.raises(FaultError):
+            FaultPlan().for_site("cache")
+
+    def test_sites_in_canonical_order(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(site="tlb", mode="lost_invlpg", probability=0.5),
+            FaultSpec(site="timers", mode="drop", probability=0.5)))
+        assert plan.sites() == ("timers", "tlb")
+
+    def test_coerce_accepts_plan_mapping_and_sequence(self):
+        spec = FaultSpec(site="timers", mode="drop", probability=0.5)
+        plan = FaultPlan(specs=(spec,), seed=7)
+        assert FaultPlan.coerce(plan) is plan
+        assert FaultPlan.coerce(plan.to_dict()) == plan
+        assert FaultPlan.coerce([spec]).specs == (spec,)
+
+    def test_coerce_rejects_garbage(self):
+        with pytest.raises(FaultError):
+            FaultPlan.coerce("timers")

@@ -76,6 +76,63 @@ class TestHookManager:
         assert hooks.dispatch_count[HOOK_PTE_ALLOC] == 2
 
 
+class TestHookUnhookAliases:
+    def test_hook_and_unhook_roundtrip(self):
+        hooks = HookManager()
+        seen = []
+        cb = lambda *a: seen.append(a)
+        hooks.hook(HOOK_PTE_ALLOC, cb)
+        hooks.notify(HOOK_PTE_ALLOC, "proc", 1)
+        hooks.unhook(HOOK_PTE_ALLOC, cb)
+        hooks.notify(HOOK_PTE_ALLOC, "proc", 2)
+        assert seen == [("proc", 1)]
+
+    def test_hook_unknown_point_raises_hook_error(self):
+        with pytest.raises(HookError):
+            HookManager().hook("not_a_hook", lambda: None)
+
+    def test_unhook_unknown_point_raises_hook_error(self):
+        with pytest.raises(HookError):
+            HookManager().unhook("not_a_hook", lambda: None)
+
+    def test_unhook_never_hooked_raises_hook_error(self):
+        # Symmetric with hook()'s double-install rejection: never a
+        # ValueError, never a silent pass.
+        hooks = HookManager()
+        hooks.hook(HOOK_PTE_ALLOC, lambda *a: None)
+        with pytest.raises(HookError):
+            hooks.unhook(HOOK_PTE_ALLOC, lambda *a: None)
+
+    def test_double_hook_raises_hook_error(self):
+        hooks = HookManager()
+        cb = lambda *a: None
+        hooks.hook(HOOK_PTE_ALLOC, cb)
+        with pytest.raises(HookError):
+            hooks.hook(HOOK_PTE_ALLOC, cb)
+
+    def test_unhook_twice_raises_hook_error(self):
+        hooks = HookManager()
+        cb = lambda *a: None
+        hooks.hook(HOOK_PTE_ALLOC, cb)
+        hooks.unhook(HOOK_PTE_ALLOC, cb)
+        with pytest.raises(HookError):
+            hooks.unhook(HOOK_PTE_ALLOC, cb)
+
+    def test_callbacks_returns_ordered_copy(self):
+        hooks = HookManager()
+        a, b = (lambda *x: None), (lambda *x: "b")
+        hooks.hook(HOOK_PAGE_FAULT, a)
+        hooks.hook(HOOK_PAGE_FAULT, b)
+        listed = hooks.callbacks(HOOK_PAGE_FAULT)
+        assert listed == [a, b]
+        listed.clear()  # mutating the copy must not unhook anything
+        assert hooks.hooked(HOOK_PAGE_FAULT) == 2
+
+    def test_callbacks_unknown_point_raises_hook_error(self):
+        with pytest.raises(HookError):
+            HookManager().callbacks("not_a_hook")
+
+
 class TestReverseMap:
     def test_add_and_lookup(self):
         rmap = ReverseMap()
@@ -162,3 +219,77 @@ class TestKernelTimers:
         clock.advance(30)
         assert timers.run_pending() == 2
         assert timers.fired == 2
+
+
+class TestSiblingCancellation:
+    """A callback cancelling a sibling timer of the same due batch.
+
+    The sibling is already out of the clock's heap when the cancelling
+    callback runs, so ``run_pending`` itself must honour the
+    cancellation — firing a just-cancelled callback is a use-after-free
+    in the real kernel.
+    """
+
+    def test_oneshot_cancels_oneshot_sibling(self):
+        clock = SimClock()
+        timers = KernelTimers(clock)
+        fired = []
+        second = timers.add_oneshot(100, lambda: fired.append("second"))
+        timers.add_oneshot(50, lambda: timers.cancel(second))
+        clock.advance(100)
+        assert timers.run_pending() == 1
+        assert fired == []
+
+    def test_oneshot_cancels_periodic_sibling(self):
+        clock = SimClock()
+        timers = KernelTimers(clock)
+        fired = []
+        victim = timers.add_periodic(100, lambda: fired.append(1))
+        timers.add_oneshot(50, lambda: timers.cancel(victim))
+        clock.advance(100)
+        timers.run_pending()
+        assert fired == []
+        # The re-armed heap instance must stay dead on later pops too.
+        clock.advance(300)
+        timers.run_pending()
+        assert fired == []
+
+    def test_periodic_cancels_periodic_sibling(self):
+        clock = SimClock()
+        timers = KernelTimers(clock)
+        fired = []
+        holder = {}
+        holder["victim"] = timers.add_periodic(
+            100, lambda: fired.append("victim"))
+        timers.add_periodic(90, lambda: timers.cancel(holder["victim"]))
+        clock.advance(100)
+        timers.run_pending()
+        clock.advance(200)
+        timers.run_pending()
+        assert fired == []
+
+    def test_cancelled_oneshot_does_not_leak_into_reuse(self):
+        # A skipped one-shot consumes its cancellation: a later,
+        # unrelated event must not inherit it.
+        clock = SimClock()
+        timers = KernelTimers(clock)
+        fired = []
+        victim = timers.add_oneshot(100, lambda: fired.append("victim"))
+        timers.add_oneshot(50, lambda: timers.cancel(victim))
+        clock.advance(100)
+        timers.run_pending()
+        timers.add_oneshot(10, lambda: fired.append("fresh"))
+        clock.advance(10)
+        timers.run_pending()
+        assert fired == ["fresh"]
+
+    def test_unrelated_siblings_still_fire(self):
+        clock = SimClock()
+        timers = KernelTimers(clock)
+        fired = []
+        victim = timers.add_oneshot(100, lambda: fired.append("victim"))
+        timers.add_oneshot(50, lambda: timers.cancel(victim))
+        timers.add_oneshot(100, lambda: fired.append("bystander"))
+        clock.advance(100)
+        timers.run_pending()
+        assert fired == ["bystander"]

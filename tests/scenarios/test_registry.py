@@ -24,7 +24,7 @@ class TestRegistry:
     def test_groups_cover_the_paper_evaluation(self):
         assert list_groups() == [
             "table2", "baselines", "table3", "table4", "table5",
-            "lamp", "anatomy", "smoke"]
+            "lamp", "anatomy", "smoke", "chaos"]
 
     def test_expected_grid_sizes(self):
         sizes = {g: len(scenario_group(g)) for g in list_groups()}
@@ -37,6 +37,7 @@ class TestRegistry:
             "lamp": 2,          # Figures 4-5, D+-1 and D+-6
             "anatomy": 3,
             "smoke": 5,
+            "chaos": 10,        # 5 fault sites x {healed, raw}
         }
 
     def test_names_match_registry_keys(self):
