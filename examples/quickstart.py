@@ -56,12 +56,12 @@ def main() -> None:
           f"({stats.ringbuf_bytes / 1024:.0f} KiB pre-allocated ring buffer)")
     print(f"\nsimulated time elapsed : {m.clock.now_ms:.2f} ms")
 
-    # 5. Every layer's statistics live behind one registry.
-    counters = m.counters()
+    # 5. Every layer's statistics live behind one typed facade.
+    telemetry = m.telemetry
     print("\nmachine counters (non-zero, excerpt):")
     for key in ("kernel.faults_handled", "tlb.misses", "dram.reads",
                 "dram.writes", "timers.fired", "softtrr.captured_faults"):
-        print(f"  {key:24s} : {counters[key]}")
+        print(f"  {key:24s} : {telemetry.counter(key)}")
 
 
 if __name__ == "__main__":

@@ -18,10 +18,12 @@ Quickstart::
     base = m.kernel.mmap(proc, 64 * 4096)
     m.kernel.user_write(proc, base, b"hello")
     print(m.softtrr.stats())
-    print({k: v for k, v in m.counters().items() if v})
+    counters = m.telemetry.as_flat_dict()
+    print({k: v for k, v in counters.items() if v})
 
 Machines are assembled through :mod:`repro.machine` (one declarative
-config, unified counters, deterministic snapshot/restore), and every
+config, a typed ``machine.telemetry`` facade over every per-layer
+counter, deterministic snapshot/restore), and every
 paper experiment is a named scenario in :mod:`repro.scenarios`, runnable
 serially or in parallel via ``repro-sweep``.
 

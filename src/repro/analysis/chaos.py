@@ -27,6 +27,7 @@ import json
 import sys
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from .. import cli_common
 from ..errors import AttackError, ConfigError, ReproError
 from ..faults import FAULT_SITES, FaultPlan, FaultSpec
 from ..machine import Machine, MachineConfig
@@ -174,7 +175,7 @@ def run_chaos_cell(
         })
     softtrr = machine.softtrr
     trr_params = softtrr.params
-    site_counters = dict(machine.fault_injector.counters[site])
+    site_counters = machine.telemetry.group(f"faults.{site}")
     payload["faults"] = site_counters
     payload["erosion_ns"] = _erosion_ns(
         site, site_counters, trr_params.timer_inr_ns,
@@ -276,7 +277,7 @@ def summarise_matrix(results: Sequence[ScenarioResult]) -> dict:
 
 # ---------------------------------------------------------------- the CLI
 def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
+    parser = cli_common.build_parser(
         prog="repro-chaos",
         description=("Sweep fault-injection intensities over SoftTRR and "
                      "report protection-window erosion per site."),
@@ -288,19 +289,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--intensities", nargs="*", type=float,
         default=[DEFAULT_INTENSITY],
         help="per-opportunity fault probabilities (default: 0.25)")
-    parser.add_argument(
-        "--seed", type=int, default=11,
-        help="fault-plan seed (default 11)")
-    parser.add_argument(
-        "--workers", type=int, default=1,
-        help="worker processes (results are byte-identical for any value)")
-    parser.add_argument(
-        "--output", default=None, metavar="PATH",
-        help="write the JSON report to PATH instead of stdout")
-    parser.add_argument(
-        "--check", action="store_true",
-        help="exit non-zero unless healing keeps every L1PT clean AND "
-             "at least one raw cell shows erosion (the CI gate)")
+    cli_common.add_seed_option(parser, default=11)
+    cli_common.add_jobs_option(parser)
+    cli_common.add_out_option(
+        parser, help_text="write the JSON report to PATH instead of stdout")
+    cli_common.add_check_option(
+        parser,
+        help_text="exit non-zero unless healing keeps every L1PT clean AND "
+                  "at least one raw cell shows erosion (the CI gate)")
     return parser
 
 
@@ -308,14 +304,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
     try:
-        if args.workers < 1:
-            raise ConfigError("--workers must be >= 1")
+        if args.jobs < 1:
+            raise ConfigError("--jobs must be >= 1")
         results = run_chaos_matrix(
             sites=args.sites, intensities=args.intensities,
-            seed=args.seed, workers=args.workers)
+            seed=args.seed, workers=args.jobs)
     except ReproError as exc:
         print(f"repro-chaos: error: {exc}", file=sys.stderr)
-        return 2
+        return cli_common.EXIT_USAGE
     summary = summarise_matrix(results)
     report = {
         "intensities": args.intensities,
@@ -324,10 +320,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cells": [result.to_dict() for result in results],
     }
     text = json.dumps(report, sort_keys=True, indent=2) + "\n"
-    if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(text)
-        print(f"[{len(results)} chaos cells -> {args.output}]")
+        print(f"[{len(results)} chaos cells -> {args.out}]")
     else:
         sys.stdout.write(text)
     if args.check:
@@ -341,11 +337,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             for failure in failures:
                 print(f"repro-chaos: CHECK FAILED: {failure}",
                       file=sys.stderr)
-            return 1
+            return cli_common.EXIT_CHECK_FAILED
         print("repro-chaos: check passed "
               f"({len(results)} cells, healing holds, erosion measurable)",
               file=sys.stderr)
-    return 0
+    return cli_common.EXIT_OK
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -23,11 +23,11 @@ and written to ``BENCH_perf.json`` (see README's Performance section).
 
 from __future__ import annotations
 
-import argparse
 import json
 import time
 from typing import Callable, Dict, Optional
 
+from .. import cli_common
 from ..config import machine
 from ..machine import Machine
 from ..workloads.base import SliceWorkload, WorkloadProfile
@@ -183,7 +183,7 @@ def _render(payload: Dict[str, object]) -> str:
 
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point (``repro-perfbench``)."""
-    parser = argparse.ArgumentParser(
+    parser = cli_common.build_parser(
         prog="repro-perfbench",
         description="Wall-clock throughput of the simulation stack "
                     "(scalar vs batched execution paths).",
@@ -191,9 +191,9 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument(
         "--quick", action="store_true",
         help="CI-sized run (fewer activations/slices/iterations)")
-    parser.add_argument(
-        "--out", default="BENCH_perf.json",
-        help="output JSON path (default: %(default)s)")
+    cli_common.add_out_option(
+        parser, default="BENCH_perf.json",
+        help_text="output JSON path (default: %(default)s)")
     args = parser.parse_args(argv)
     payload = run_benchmarks(quick=args.quick)
     print(_render(payload))
@@ -201,7 +201,7 @@ def main(argv: Optional[list] = None) -> int:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
     print(f"[saved to {args.out}]")
-    return 0
+    return cli_common.EXIT_OK
 
 
 if __name__ == "__main__":

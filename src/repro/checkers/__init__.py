@@ -3,7 +3,7 @@
 Two halves:
 
 * :mod:`repro.checkers.lint` — an AST lint with repo-specific rules
-  (RPR001..RPR005), runnable as ``python -m repro.checkers.lint src/``
+  (RPR001..RPR008), runnable as ``python -m repro.checkers.lint src/``
   or via the ``repro-lint`` entry point.
 * :mod:`repro.checkers.sanitizers` — runtime invariant checks that
   install at the simulation's choke points and accumulate violations

@@ -74,7 +74,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="Repo-specific lint for the SoftTRR reproduction "
-                    "(rules RPR001..RPR005).",
+                    "(rules RPR001..RPR008).",
     )
     parser.add_argument("paths", nargs="*",
                         help="files or directories to lint")

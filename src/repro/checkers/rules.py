@@ -1,4 +1,4 @@
-"""The repo-specific lint rules (RPR001..RPR006).
+"""The repo-specific lint rules (RPR001..RPR008).
 
 Each rule encodes an invariant the simulation's correctness argument
 rests on:
@@ -30,6 +30,12 @@ rests on:
   Fault injection goes through the sanctioned injector so that wrapper
   stacking, snapshot ordering and the ``faults`` counter namespace stay
   coherent; an ad-hoc wrapper breaks all three silently.
+* **RPR008** — no direct metric mutation (``.inc()`` / ``.observe()`` /
+  ``.set_gauge()``, or writes into a registry's internal tables)
+  outside :mod:`repro.trace`.  Instrumented layers report through
+  ``self.trace.emit(...)`` / span begin-end pairs; a hand-bumped
+  counter bypasses the hub's level gating and ring buffer, so the
+  same run would diverge between trace levels.
 """
 
 from __future__ import annotations
@@ -335,6 +341,57 @@ class FaultChokePointRule(LintRule):
                 )
 
 
+class MetricMutationRule(LintRule):
+    """RPR008: metric mutation is :mod:`repro.trace`'s monopoly.
+
+    Mirrors RPR007's choke-point discipline for the telemetry layer:
+    every counter bump, histogram observation and gauge write flows
+    through :class:`~repro.trace.TraceHub` (``emit`` / ``span_begin`` /
+    ``span_end``), which applies level gating and keeps the event ring
+    consistent with the metrics.  A direct ``registry.counter(x).inc()``
+    elsewhere records state the ring never saw — trace-level runs stop
+    agreeing with each other.  Tests keep direct access to exercise the
+    instruments in isolation.
+    """
+
+    rule_id = "RPR008"
+    description = ("no direct metric mutation (inc/observe/set_gauge) "
+                   "outside repro.trace")
+    interests = (ast.Call, ast.Assign, ast.AugAssign)
+    allowed_paths = (
+        "repro/trace/",
+        "tests/",
+    )
+
+    _MUTATORS = frozenset({"inc", "observe", "set_gauge"})
+    _INTERNAL_TABLES = frozenset({"_counters", "_gauges", "_histograms"})
+
+    def check_node(self, node: ast.AST, ctx: LintContext) -> Iterable[Finding]:
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in self._MUTATORS:
+                yield self.finding(
+                    ctx, node,
+                    f"direct metric mutation '.{func.attr}(...)'; report "
+                    "through the trace hub (trace.emit / span_begin / "
+                    "span_end) so level gating stays coherent",
+                )
+            return
+        targets = (node.targets if isinstance(node, ast.Assign)
+                   else [node.target])
+        for target in targets:
+            if (isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Attribute)
+                    and target.value.attr in self._INTERNAL_TABLES):
+                yield self.finding(
+                    ctx, node,
+                    f"write into registry internals "
+                    f"'.{target.value.attr}[...]'; instruments are "
+                    "created through MetricsRegistry.counter/gauge/"
+                    "histogram only",
+                )
+
+
 def _bound_names(stmt: ast.stmt) -> Iterable[str]:
     """Names a top-level statement binds (``*`` for a star import)."""
     if isinstance(stmt, ast.Import):
@@ -411,4 +468,5 @@ def default_rules() -> Sequence[LintRule]:
         ExportConsistencyRule(),
         MachineAssemblyRule(),
         FaultChokePointRule(),
+        MetricMutationRule(),
     )

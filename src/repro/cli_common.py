@@ -1,0 +1,94 @@
+"""Shared argparse conventions for the ``repro-*`` command-line tools.
+
+Every CLI in this repo (``repro-sweep``, ``repro-chaos``,
+``repro-perfbench``, ``repro-trace``, ``repro-lint``) historically grew
+its own spellings for the same knobs (``--workers`` vs ``--jobs``,
+``--output`` vs ``--out``).  This module pins the canonical flags and
+exit codes; the old spellings stay as hidden aliases so existing
+invocations keep working.
+
+Canonical flags (each CLI opts in to the subset it needs):
+
+* ``--seed N`` — deterministic RNG root for the run;
+* ``--jobs N`` (alias ``--workers``) — parallel worker count;
+* ``--json`` — machine-readable output on stdout;
+* ``--check`` — gate mode: validate and exit non-zero on failure;
+* ``--out PATH`` (alias ``--output``) — artifact destination.
+
+Exit codes: ``EXIT_OK`` (0) success, ``EXIT_CHECK_FAILED`` (1) a
+``--check`` gate or the tool's own validation failed,
+``EXIT_USAGE`` (2) bad invocation (argparse's own convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional
+
+__all__ = [
+    "EXIT_CHECK_FAILED",
+    "EXIT_OK",
+    "EXIT_USAGE",
+    "add_check_option",
+    "add_jobs_option",
+    "add_json_option",
+    "add_out_option",
+    "add_seed_option",
+    "build_parser",
+]
+
+EXIT_OK = 0
+EXIT_CHECK_FAILED = 1
+EXIT_USAGE = 2
+
+
+def build_parser(prog: str, description: str,
+                 **kwargs) -> argparse.ArgumentParser:
+    """A parser with the shared prog/description conventions."""
+    return argparse.ArgumentParser(
+        prog=prog, description=description, **kwargs)
+
+
+def add_seed_option(parser: argparse.ArgumentParser,
+                    default: int = 1234) -> None:
+    """``--seed N``: the deterministic RNG root."""
+    parser.add_argument(
+        "--seed", type=int, default=default, metavar="N",
+        help=f"deterministic RNG root (default {default})")
+
+
+def add_jobs_option(parser: argparse.ArgumentParser,
+                    default: int = 1) -> None:
+    """``--jobs N`` (alias ``--workers``): parallel worker count."""
+    parser.add_argument(
+        "--jobs", "--workers", dest="jobs", type=int, default=default,
+        metavar="N",
+        help=f"parallel worker processes (default {default}; "
+             "1 runs serially)")
+
+
+def add_json_option(parser: argparse.ArgumentParser) -> None:
+    """``--json``: machine-readable output on stdout."""
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of text")
+
+
+def add_check_option(parser: argparse.ArgumentParser,
+                     help_text: Optional[str] = None) -> None:
+    """``--check``: gate mode, exit 1 when validation fails."""
+    parser.add_argument(
+        "--check", action="store_true",
+        help=help_text or "gate mode: validate results and exit "
+                          "non-zero on failure")
+
+
+def add_out_option(parser: argparse.ArgumentParser,
+                   default: Optional[str] = None,
+                   help_text: Optional[str] = None) -> None:
+    """``--out PATH`` (alias ``--output``): artifact destination."""
+    parser.add_argument(
+        "--out", "--output", dest="out", default=default, metavar="PATH",
+        help=help_text or (
+            f"write results to PATH (default {default})" if default
+            else "write results to PATH"))

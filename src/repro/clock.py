@@ -68,6 +68,8 @@ class SimClock:
         self._heap: List[Tuple[int, int, ScheduledEvent]] = []
         self._seq = itertools.count()
         self._cancelled: set = set()
+        # Trace hub, or None when tracing is off (repro.trace attaches).
+        self.trace = None
 
     # ------------------------------------------------------------------ time
     @property
@@ -121,6 +123,9 @@ class SimClock:
             name=name,
         )
         heapq.heappush(self._heap, (event.when_ns, event.seq, event))
+        if self.trace is not None:
+            self.trace.emit("clock.schedule", at_ns=event.when_ns,
+                            period_ns=period_ns, name=name)
         return event
 
     def cancel(self, event: ScheduledEvent) -> None:

@@ -55,6 +55,8 @@ class PageTableCollector:
         # Fig. 5 statistics.
         self.ever_protected: Set[int] = set()
         self.ever_adjacent: Set[int] = set()
+        # Trace hub, or None when tracing is off (repro.trace attaches).
+        self.trace = None
 
     # ------------------------------------------------------------ queries
     def is_protected(self, ppn: int) -> bool:
@@ -117,6 +119,8 @@ class PageTableCollector:
         scan cost (the paper measures ~28 ms for module load) is charged
         by the module facade, proportional to the walked pages.
         """
+        span = (self.trace.span_begin("collector.initial_collect")
+                if self.trace is not None else 0)
         count = 0
         for process in list(self.kernel.processes.values()):
             for l1_ppn in list(process.mm.pte_page_population.keys()):
@@ -126,6 +130,8 @@ class PageTableCollector:
                 for table_ppn, level in list(process.mm.table_levels.items()):
                     if level == 2 and self.on_pmd_alloc(process, table_ppn):
                         count += 1
+        if self.trace is not None:
+            self.trace.span_end("collector.initial_collect", span)
         return count
 
     def resync(self) -> int:
@@ -139,6 +145,8 @@ class PageTableCollector:
         (level 0) are registered explicitly, not via hooks, so they are
         left alone.  Returns the number of repairs made.
         """
+        span = (self.trace.span_begin("collector.resync")
+                if self.trace is not None else 0)
         repairs = 0
         live_l1: Set[int] = set()
         live_l2: Set[int] = set()
@@ -161,6 +169,8 @@ class PageTableCollector:
             if dead:
                 self._remove_pt(ppn)
                 repairs += 1
+        if self.trace is not None:
+            self.trace.span_end("collector.resync", span)
         return repairs
 
     def on_pt_alloc(self, process, pt_ppn: int) -> bool:

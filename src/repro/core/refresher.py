@@ -52,6 +52,8 @@ class RowRefresher:
         injector = getattr(kernel, "fault_injector", None)
         if injector is not None:
             self.attempt_filter = injector.refresh_attempt_filter
+        # Trace hub, or None when tracing is off (repro.trace attaches).
+        self.trace = None
 
     def on_adjacent_access(self, bank: int, row: int) -> int:
         """An adjacent row was accessed: bump nearby PT rows' counters.
@@ -68,6 +70,9 @@ class RowRefresher:
                 row, bank, self.params.max_distance):
             bank_struct.leak_count += 1
             self.leak_bumps += 1
+            if self.trace is not None:
+                self.trace.emit("refresh.bump", bank=bank, row=pt_row,
+                                leak=bank_struct.leak_count)
             if bank_struct.leak_count >= self.params.count_limit:
                 self.refresh(bank, pt_row)
                 bank_struct.leak_count = 0
@@ -86,6 +91,9 @@ class RowRefresher:
         failed = 0
         for attempt in range(attempts):
             if attempt > 0:
+                if self.trace is not None:
+                    self.trace.emit("refresh.retry", bank=bank, row=row,
+                                    attempt=attempt)
                 kernel.clock.advance(backoff_ns)
                 kernel.accountant.charge("softtrr_refresh", backoff_ns)
                 backoff_ns *= 2
@@ -97,6 +105,8 @@ class RowRefresher:
                         injector.note_healed("refresher", failed)
                 self.refreshes += 1
                 self.refresh_log.append((bank, row, kernel.clock.now_ns))
+                if self.trace is not None:
+                    self.trace.emit("refresh.row", bank=bank, row=row)
                 return True
             failed += 1
         self.failed_refreshes += 1
@@ -116,6 +126,8 @@ class RowRefresher:
             injector = getattr(kernel, "fault_injector", None)
             if injector is not None:
                 injector.note_refresh_failed()
+            if self.trace is not None:
+                self.trace.emit("refresh.attempt", bank=bank, row=row, ok=0)
             return False
         paddr = self.mapping.dram_to_phys(bank, row, 0)
         kvaddr = kernel.kvaddr_of(paddr)
@@ -126,6 +138,8 @@ class RowRefresher:
         kernel.dram.refresh_row(bank, row)
         kernel.clock.advance(kernel.cost.row_refresh_ns)
         kernel.accountant.charge("softtrr_refresh", kernel.cost.row_refresh_ns)
+        if self.trace is not None:
+            self.trace.emit("refresh.attempt", bank=bank, row=row, ok=1)
         return True
 
     def compensate(self, missed_windows: int) -> int:

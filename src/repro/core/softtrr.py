@@ -105,6 +105,9 @@ class SoftTrr:
         #: entry), hook work.  The workload engine reads this to keep
         #: slice padding from masking the defense's cost.
         self.overhead_ns = 0
+        # Trace hub, or None when tracing is off (picked up from
+        # ``kernel.trace_hub`` at load and fanned out to the components).
+        self.trace = None
 
     # ================================================================ load
     def load(self, kernel) -> None:
@@ -128,6 +131,14 @@ class SoftTrr:
                       else AdjacentPageTracer)
         self.tracer = tracer_cls(kernel, self.collector, self.refresher,
                                  self.params)
+        # Fan the machine's trace hub (if any) out to the components
+        # before the initial collection so its span is recorded too.
+        hub = getattr(kernel, "trace_hub", None)
+        self.trace = hub
+        if hub is not None:
+            self.collector.trace = hub
+            self.refresher.trace = hub
+            self.tracer.trace = hub
         # Initial collection, with its one-off load cost (the paper
         # measures ~28 ms): walking every VMA page of every process.
         start = kernel.clock.now_ns
@@ -162,6 +173,8 @@ class SoftTrr:
     def _on_tick(self) -> None:
         kernel = self.kernel
         t0 = kernel.clock.now_ns
+        span = (self.trace.span_begin("softtrr.tick")
+                if self.trace is not None else 0)
         params = self.params
         if params.heal_watchdog and self._last_tick_ns is not None:
             # Missed-window detection: successive delivered ticks should
@@ -180,6 +193,8 @@ class SoftTrr:
             self.resync()
         self._last_tick_ns = t0
         self.overhead_ns += kernel.clock.now_ns - t0
+        if self.trace is not None:
+            self.trace.span_end("softtrr.tick", span)
 
     def resync(self) -> int:
         """Re-walk collector and armed-PTE state (heal_resync_every).

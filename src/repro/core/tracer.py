@@ -59,6 +59,8 @@ class AdjacentPageTracer:
         self.captured_faults = 0
         self.stale_faults = 0
         self.ever_traced: Set[int] = set()
+        # Trace hub, or None when tracing is off (repro.trace attaches).
+        self.trace = None
 
     # ================================================================ arm
     def tick(self) -> None:
@@ -127,6 +129,9 @@ class AdjacentPageTracer:
         self._write_entry(ref.pte_paddr, new_entry)
         self.kernel.mmu.invlpg(ref.vaddr)
         self._armed[ref.pte_paddr] = ref
+        if self.trace is not None:
+            self.trace.emit("pte.arm", pte_paddr=ref.pte_paddr,
+                            vaddr=ref.vaddr, ppn=ref.ppn)
         return True
 
     # ============================================================== faults
@@ -143,6 +148,9 @@ class AdjacentPageTracer:
         # Disarm: restore the entry and flush the stale translation.
         self._write_entry(fault.pte_paddr, self._unmark(entry))
         self.kernel.mmu.invlpg(ref.vaddr)
+        if self.trace is not None:
+            self.trace.emit("pte.disarm", pte_paddr=fault.pte_paddr,
+                            vaddr=ref.vaddr)
         cost = self.kernel.cost.trace_fault_ns
         self.kernel.clock.advance(cost)
         self.kernel.accountant.charge("softtrr_trace_fault", cost)
@@ -156,6 +164,9 @@ class AdjacentPageTracer:
             return "softtrr-stale"
         self.captured_faults += 1
         self.ever_traced.add(accessed_ppn)
+        if self.trace is not None:
+            self.trace.emit("tracer.capture", ppn=accessed_ppn,
+                            pte_paddr=ref.pte_paddr)
         # Re-queue for the next timer.
         self.ringbuf.push(PteRef(
             pte_paddr=ref.pte_paddr, vaddr=ref.vaddr, pid=ref.pid,
@@ -382,6 +393,9 @@ class PresentBitTracer(AdjacentPageTracer):
         self._write_entry(ref.pte_paddr, self._mark(entry))
         self.kernel.mmu.invlpg(ref.vaddr)
         self._armed[ref.pte_paddr] = ref
+        if self.trace is not None:
+            self.trace.emit("pte.arm", pte_paddr=ref.pte_paddr,
+                            vaddr=ref.vaddr, ppn=ref.ppn)
         return True
 
     def _arm_ref(self, ref: PteRef) -> bool:

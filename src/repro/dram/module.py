@@ -79,6 +79,8 @@ class DramModule:
         from collections import deque
         self.recent_activations = deque(maxlen=4096)
         self.walk_origin = False
+        # Trace hub, or None when tracing is off (repro.trace attaches).
+        self.trace = None
 
     # ------------------------------------------------------------ storage
     def _row_data(self, bank: int, row: int) -> bytearray:
@@ -95,8 +97,12 @@ class DramModule:
             self.engine.heal(bank, row)
 
     def _apply_flips(self, flips: List[FlipEvent]) -> None:
+        trace = self.trace
         for flip in flips:
             self.flip_log.append(flip)
+            if trace is not None:
+                trace.emit("dram.flip", bank=flip.bank, row=flip.row,
+                           bit_offset=flip.bit_offset, at_ns=flip.at_ns)
             data = self._row_data(flip.bank, flip.row)
             byte_index, bit_index = divmod(flip.bit_offset, 8)
             current = (data[byte_index] >> bit_index) & 1
@@ -182,6 +188,9 @@ class DramModule:
             resolved.append((key, count))
         if not resolved:
             return
+        trace = self.trace
+        span_start = (trace.span_begin("dram.hammer_batch")
+                      if trace is not None else 0)
 
         aggressors = {key for key, _ in resolved}
         acc = engine._acc
@@ -372,6 +381,10 @@ class DramModule:
             state.open_row = bank_last[bank] if open_page else None
 
         self.clock.advance(now - start_ns)
+        if trace is not None:
+            trace.emit("dram.activate", count=acts, origin=origin, batched=1)
+            trace.emit("dram.deposit", count=deposits)
+            trace.span_end("dram.hammer_batch", span_start)
 
     def access_batch(self, paddrs) -> None:
         """Batched line transactions: ``for p in paddrs:
@@ -448,13 +461,21 @@ class DramModule:
         if count <= 0:
             return
         dram = self.mapping.phys_to_dram(paddr)
+        trace = self.trace
+        if trace is not None:
+            trace.emit("dram.activate", bank=dram.bank, row=dram.row,
+                       count=count, origin=origin)
         bank_state = self._banks[dram.bank]
         bank_state.activations += count
         bank_state.open_row = dram.row if self.row_policy is RowBufferPolicy.OPEN_PAGE else None
         epoch = self._epoch()
+        deposits_before = self.engine.total_deposits
         self._apply_flips(
             self.engine.on_activate(dram.bank, dram.row, count, epoch, self.clock.now_ns)
         )
+        if trace is not None:
+            trace.emit("dram.deposit",
+                       count=self.engine.total_deposits - deposits_before)
         self.trr.on_activate(dram.bank, dram.row, count, epoch)
         self.total_activations += count
         self.recent_activations.append((dram.bank, dram.row, origin))

@@ -62,6 +62,9 @@ class FaultInjector:
         self._opportunities = {index: 0 for index in range(len(plan.specs))}
         #: site -> {opportunities, injected, suppressed, delayed, healed}.
         self.counters = new_site_counters()
+        # Trace hub, or None when tracing is off.  Injections become
+        # trace events; read off the kernel so the hub is shared.
+        self.trace = getattr(kernel, "trace_hub", None)
 
     # ----------------------------------------------------------- decisions
     def decide(self, site: str) -> Optional[FaultSpec]:
@@ -92,6 +95,8 @@ class FaultInjector:
             counters["delayed"] += 1
         else:
             counters["suppressed"] += 1
+        if self.trace is not None:
+            self.trace.emit("fault.inject", site=site, mode=mode)
 
     def note_healed(self, site: str, count: int = 1) -> None:
         """A healing policy repaired ``count`` faults at ``site``.

@@ -68,6 +68,8 @@ class HookManager:
     def __init__(self) -> None:
         self._hooks: Dict[str, List[Callable]] = {name: [] for name in KNOWN_HOOKS}
         self.dispatch_count: Dict[str, int] = {name: 0 for name in KNOWN_HOOKS}
+        # Trace hub, or None when tracing is off (repro.trace attaches).
+        self.trace = None
 
     def register(self, point: str, callback: Callable) -> None:
         """Install ``callback`` on ``point`` (like installing a detour)."""
@@ -127,6 +129,8 @@ class HookManager:
     def notify(self, point: str, *args, **kwargs) -> None:
         """Run every callback on ``point`` (notifier style)."""
         self.dispatch_count[point] += 1
+        if self.trace is not None:
+            self.trace.emit("hook.notify", point=point)
         for callback in list(self._hooks[point]):
             callback(*args, **kwargs)
 

@@ -114,6 +114,11 @@ class Kernel:
         #: enabled via ``MachineSpec(sanitize=True)`` or installed later
         #: with ``install_sanitizers`` / ``with sanitized(kernel):``.
         self.sanitizers = None
+        #: Trace hub (:mod:`repro.trace`), or None when tracing is off.
+        #: Lives on the kernel so a machine deepcopy carries exactly one
+        #: hub and every component's ``trace`` reference follows it.
+        self.trace_hub = None
+        self.trace = None
         if spec.sanitize:
             from ..checkers.sanitizers import install_sanitizers
 
@@ -502,6 +507,8 @@ class Kernel:
         self.faults_handled += 1
         self.clock.advance(self.cost.page_fault_overhead_ns)
         self.accountant.charge("page_fault", self.cost.page_fault_overhead_ns)
+        if self.trace is not None and fault.is_reserved_bit:
+            self.trace.emit("kernel.rsvd_fault", vaddr=fault.vaddr)
         handled = self.hooks.dispatch(HOOK_PAGE_FAULT, process, fault)
         if handled is not None:
             return

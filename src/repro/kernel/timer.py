@@ -21,6 +21,8 @@ class KernelTimers:
         self.clock = clock
         self._owned: List[ScheduledEvent] = []
         self.fired = 0
+        # Trace hub, or None when tracing is off (repro.trace attaches).
+        self.trace = None
 
     def add_periodic(self, period_ns: int, callback: Callable[[], None],
                      name: str = "") -> ScheduledEvent:
@@ -84,6 +86,8 @@ class KernelTimers:
         away from it) — a dropped or delayed tick is a ``_fire`` that
         returns False without running the callback.
         """
+        if self.trace is not None:
+            self.trace.emit("timer.fire", name=event.name)
         event.callback()
         self.fired += 1
         return True

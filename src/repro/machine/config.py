@@ -74,6 +74,12 @@ class MachineConfig:
     #: Accepts a :class:`~repro.faults.FaultPlan` or its dict form
     #: (scenario params travel as plain JSON); ``None`` = no injection.
     fault_plan: Optional[object] = None
+    #: Tracing level (:mod:`repro.trace`): ``"off"`` (default, zero
+    #: overhead beyond one attribute test per choke point),
+    #: ``"metrics"``, ``"events"`` or ``"spans"``.
+    trace: str = "off"
+    #: Ring-buffer capacity in events (``None`` = the trace default).
+    trace_capacity: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.machine not in MACHINES and self.machine != "tiny":
@@ -83,6 +89,13 @@ class MachineConfig:
             )
         if self.strict_sanitizers and not self.sanitize:
             raise ConfigError("strict_sanitizers requires sanitize=True")
+        from ..trace.hub import LEVELS
+
+        if self.trace not in LEVELS:
+            raise ConfigError(
+                f"unknown trace level {self.trace!r}; known: {LEVELS}")
+        if self.trace_capacity is not None and self.trace_capacity < 1:
+            raise ConfigError("trace_capacity must be positive")
         # Normalise to a plain dict so configs pickle/compare cleanly.
         object.__setattr__(self, "defense_params", dict(self.defense_params))
         if self.fault_plan is not None:

@@ -7,9 +7,10 @@ full simulated stack (clock, DRAM, MMU, kernel, defense, sanitizers,
 batching knob), is built from a declarative :class:`MachineConfig`, and
 offers:
 
-* :meth:`counters` — every per-layer statistic (TLB, CPU cache, DRAM
+* :attr:`telemetry` — every per-layer statistic (TLB, CPU cache, DRAM
   banks, disturbance engine, in-DRAM TRR, kernel, timers, SoftTRR)
-  under one namespaced registry;
+  under one typed facade (the deprecated :meth:`counters` shim keeps
+  the old flat-dict shape alive);
 * :meth:`snapshot` / :meth:`restore` — deterministic whole-machine
   checkpointing.  A restored machine replays to bit-identical
   FlipEvent streams because *all* replay-relevant state travels:
@@ -74,6 +75,8 @@ class Machine:
             sanitize=config.sanitize,
             strict=config.strict_sanitizers,
             fault_plan=config.fault_plan,
+            trace=config.trace,
+            trace_capacity=config.trace_capacity,
         )
 
     @classmethod
@@ -86,6 +89,8 @@ class Machine:
         strict_sanitizers: bool = False,
         batch: Optional[bool] = None,
         fault_plan=None,
+        trace: str = "off",
+        trace_capacity: Optional[int] = None,
     ) -> "Machine":
         """Assemble from already-built spec/defense objects.
 
@@ -103,15 +108,23 @@ class Machine:
             defense = NoDefense()
         self._assemble(
             spec, defense, sanitize=sanitize, strict=strict_sanitizers,
-            fault_plan=fault_plan)
+            fault_plan=fault_plan, trace=trace, trace_capacity=trace_capacity)
         return self
 
     def _assemble(self, spec: MachineSpec, defense, *, sanitize: bool,
-                  strict: bool, fault_plan=None) -> None:
+                  strict: bool, fault_plan=None, trace: str = "off",
+                  trace_capacity: Optional[int] = None) -> None:
         self.spec = spec
         self.defense = defense
         self.kernel = Kernel(
             spec, frame_policy_factory=defense.frame_policy_factory())
+        # The trace hub attaches before the defense installs so module
+        # load (initial collection, warm-up ticks) is observable too.
+        if trace != "off":
+            from ..trace.hub import TraceHub
+
+            TraceHub.build(
+                self.kernel.clock, trace, trace_capacity).attach(self.kernel)
         # ``MachineSpec(sanitize=True)`` already installed (non-strict)
         # sanitizers inside Kernel.__init__; honour a strictness request
         # on that manager rather than double-installing.
@@ -193,60 +206,37 @@ class Machine:
         return SliceWorkload(
             self.kernel, profile, seed=seed, use_batch=self.batch).run()
 
-    # ============================================================ counters
-    def counters(self) -> Dict[str, int]:
-        """Every per-layer statistic under one namespaced registry.
+    # =========================================================== telemetry
+    @property
+    def telemetry(self):
+        """The typed :class:`~repro.trace.Telemetry` facade.
 
-        Keys are ``layer.counter`` (e.g. ``tlb.misses``,
-        ``dram.applied_flips``, ``softtrr.refreshes``); values are ints.
-        The dict is a point-in-time copy — diff two calls to measure a
-        phase.  Layers: ``clock``, ``kernel``, ``timers``, ``tlb``,
-        ``cache``, ``dram``, ``bank.<i>`` (activations per bank),
-        ``engine``, ``trr``, ``accounting`` and, when the module is
-        loaded, ``softtrr``.
+        Stateless — built per access over the live machine, so it never
+        needs snapshot/restore handling and is always current::
+
+            m.telemetry.counter("tlb.misses")
+            m.telemetry.group("dram")
+            m.telemetry.as_flat_dict()
         """
-        kernel = self.kernel
-        dram = kernel.dram
-        mmu = kernel.mmu
-        out: Dict[str, int] = {
-            "clock.now_ns": kernel.clock.now_ns,
-            "kernel.faults_handled": kernel.faults_handled,
-            "kernel.demand_pages": kernel.demand_pages,
-            "kernel.forks": kernel.forks,
-            "kernel.segfaults": kernel.segfaults,
-            "timers.fired": kernel.timers.fired,
-            "tlb.hits": mmu.tlb.hits,
-            "tlb.misses": mmu.tlb.misses,
-            "tlb.invalidations": mmu.tlb.invalidations,
-            "cache.hits": mmu.cache.hits,
-            "cache.misses": mmu.cache.misses,
-            "cache.flushes": mmu.cache.flushes,
-            "cache.evictions": mmu.cache.evictions,
-            "dram.reads": dram.reads,
-            "dram.writes": dram.writes,
-            "dram.total_activations": dram.total_activations,
-            "dram.applied_flips": dram.applied_flips,
-            "dram.flip_events": len(dram.flip_log),
-            "engine.total_deposits": dram.engine.total_deposits,
-            "engine.total_flip_events": dram.engine.total_flip_events,
-            "trr.targeted_refreshes": dram.trr.targeted_refreshes,
-        }
-        for index in range(dram.geometry.num_banks):
-            bank = dram.bank_state(index)
-            out[f"bank.{index}.activations"] = bank.activations
-            out[f"bank.{index}.hits"] = bank.hits
-        for category, ns in kernel.accountant.snapshot().items():
-            out[f"accounting.{category}"] = ns
-        softtrr = self.softtrr
-        if softtrr is not None:
-            for key, value in vars(softtrr.stats()).items():
-                out[f"softtrr.{key}"] = value
-        injector = self.fault_injector
-        if injector is not None:
-            for site, table in injector.counters.items():
-                for key, value in table.items():
-                    out[f"faults.{site}.{key}"] = value
-        return out
+        from ..trace.telemetry import Telemetry
+
+        return Telemetry(self)
+
+    def counters(self) -> Dict[str, int]:
+        """Deprecated: use :attr:`telemetry` (``.as_flat_dict()``).
+
+        Returns the same ``layer.counter`` dict as before — this shim
+        exists so old callers keep working while they migrate.
+        """
+        import warnings
+
+        warnings.warn(
+            "Machine.counters() is deprecated; use "
+            "machine.telemetry.as_flat_dict() (or .counter()/.group())",
+            DeprecationWarning, stacklevel=2)
+        from ..trace.telemetry import sample_machine
+
+        return sample_machine(self)
 
     # ==================================================== snapshot/restore
     def snapshot(self) -> MachineSnapshot:

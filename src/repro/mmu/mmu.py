@@ -59,6 +59,10 @@ class Mmu:
         self.pt_ops = PageTableOps(dram, self.cache)
         self.walker = Walker(self.pt_ops)
         self.invlpg_ns = invlpg_ns
+        # Trace hub, or None when tracing is off (repro.trace attaches).
+        # Point events for invlpg live in the Tlb (past the fault
+        # injector's wrap, so suppressed invalidations never emit).
+        self.trace = None
 
     # -------------------------------------------------------- translation
     def translate(

@@ -56,6 +56,10 @@ class Tlb:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        # Trace hub, or None when tracing is off (repro.trace attaches).
+        # Emission lives here (not in Mmu.invlpg) so an invalidation the
+        # fault injector suppressed never shows up in the trace.
+        self.trace = None
 
     # ------------------------------------------------------------- lookup
     def lookup(self, vaddr: int) -> Optional[TlbEntry]:
@@ -134,12 +138,17 @@ class Tlb:
     def invlpg(self, vaddr: int) -> None:
         """Drop whichever entry covers ``vaddr`` (both granularities)."""
         self.invalidations += 1
+        if self.trace is not None:
+            self.trace.emit("tlb.invlpg", vaddr=vaddr)
         self._small.pop(vaddr >> PAGE_SHIFT, None)
         self._huge.pop(vaddr >> HUGE_2M_SHIFT, None)
 
     def flush_all(self) -> None:
         """Full flush (CR3 reload on context switch)."""
         self.invalidations += len(self._small) + len(self._huge)
+        if self.trace is not None:
+            self.trace.emit("tlb.flush",
+                            entries=len(self._small) + len(self._huge))
         self._small.clear()
         self._huge.clear()
 

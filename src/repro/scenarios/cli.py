@@ -4,11 +4,11 @@ Examples::
 
     repro-sweep --list
     repro-sweep --group smoke
-    repro-sweep --group table2 --workers 4 --output results/table2.json
-    repro-sweep smoke-spray-vanilla smoke-spray-softtrr --workers 2
+    repro-sweep --group table2 --jobs 4 --out results/table2.json
+    repro-sweep smoke-spray-vanilla smoke-spray-softtrr --jobs 2
 
 Output is canonical JSON (sorted keys, fixed layout): a sweep with
-``--workers N`` is byte-identical to ``--workers 1`` over the same
+``--jobs N`` is byte-identical to ``--jobs 1`` over the same
 scenarios, which CI asserts with a plain ``diff``.
 """
 
@@ -18,6 +18,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .. import cli_common
 from ..errors import ConfigError, ReproError
 from .registry import SCENARIOS, list_groups, scenario, scenario_group
 from .runner import run_sweep
@@ -27,7 +28,7 @@ __all__ = ["main"]
 
 
 def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
+    parser = cli_common.build_parser(
         prog="repro-sweep",
         description="Run registered paper scenarios, optionally in parallel.",
     )
@@ -37,16 +38,12 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--group", action="append", default=[],
         help="run every scenario of a group (repeatable)")
-    parser.add_argument(
-        "--workers", type=int, default=1,
-        help="worker processes (default 1 = serial; results are "
-             "byte-identical for any value)")
+    cli_common.add_jobs_option(parser)
     parser.add_argument(
         "--list", action="store_true", dest="list_scenarios",
         help="list registered scenarios and exit")
-    parser.add_argument(
-        "--output", default=None, metavar="PATH",
-        help="write the JSON results to PATH instead of stdout")
+    cli_common.add_out_option(
+        parser, help_text="write the JSON results to PATH instead of stdout")
     return parser
 
 
@@ -64,7 +61,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.list_scenarios:
         print(_render_listing())
-        return 0
+        return cli_common.EXIT_OK
     try:
         specs = []
         for group in args.group:
@@ -75,21 +72,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("repro-sweep: nothing to run "
                   "(name scenarios or pass --group; see --list)",
                   file=sys.stderr)
-            return 2
-        if args.workers < 1:
-            raise ConfigError("--workers must be >= 1")
-        results = run_sweep(specs, workers=args.workers)
+            return cli_common.EXIT_USAGE
+        if args.jobs < 1:
+            raise ConfigError("--jobs must be >= 1")
+        results = run_sweep(specs, workers=args.jobs)
     except ReproError as exc:
         print(f"repro-sweep: error: {exc}", file=sys.stderr)
-        return 2
+        return cli_common.EXIT_USAGE
     text = results_to_json(results)
-    if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(text)
-        print(f"[{len(results)} scenarios -> {args.output}]")
+        print(f"[{len(results)} scenarios -> {args.out}]")
     else:
         sys.stdout.write(text)
-    return 0
+    return cli_common.EXIT_OK
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,57 @@
+"""Structured event tracing and metrics for the simulated machine.
+
+The observability pillar: typed :class:`TraceEvent` records in a
+bounded ring :class:`TraceBuffer`, per-site counters and span latency
+histograms in a :class:`MetricsRegistry`, all fanned in through one
+:class:`TraceHub` per machine, and read back through the
+:class:`Telemetry` facade (``machine.telemetry``).
+
+Tracing is default-off and, by construction, behaviourally invisible:
+emission sites never touch the clock or any RNG, so trace-enabled runs
+produce bit-identical FlipEvent streams, counters, and simulated
+nanoseconds versus trace-off runs (the differential suite in
+``tests/trace`` enforces this).  Enable via ``MachineConfig.trace``
+(``off``/``metrics``/``events``/``spans``); export recorded streams
+with the ``repro-trace`` CLI (JSONL and Chrome ``trace_event``).
+"""
+
+from .events import DEFAULT_CAPACITY, EVENT_KINDS, TraceBuffer, TraceEvent
+from .export import (
+    build_timeline,
+    events_to_chrome,
+    read_jsonl,
+    render_timeline,
+    write_chrome,
+    write_jsonl,
+)
+from .hub import LEVELS, TraceHub
+from .metrics import (
+    Counter,
+    DURATION_BUCKETS_NS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .telemetry import Telemetry, sample_machine
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "EVENT_KINDS",
+    "TraceBuffer",
+    "TraceEvent",
+    "build_timeline",
+    "events_to_chrome",
+    "read_jsonl",
+    "render_timeline",
+    "write_chrome",
+    "write_jsonl",
+    "LEVELS",
+    "TraceHub",
+    "Counter",
+    "DURATION_BUCKETS_NS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Telemetry",
+    "sample_machine",
+]

@@ -1,0 +1,192 @@
+"""Counters, gauges and fixed-bucket histograms behind one registry.
+
+:class:`MetricsRegistry` is the typed store the :class:`Telemetry`
+facade and the :class:`TraceHub` are built on.  Three instrument kinds:
+
+* :class:`Counter` — monotonically increasing int (``inc``);
+* :class:`Gauge` — last-written int (``set_gauge``);
+* :class:`Histogram` — fixed bucket boundaries chosen at creation time,
+  so two runs observing the same values produce bit-identical bucket
+  counts (no adaptive resizing, no floats in the boundaries).
+
+Mutating instrument state (``inc`` / ``observe`` / ``set_gauge``)
+anywhere outside :mod:`repro.trace` is a lint violation (RPR008): every
+layer reports through the hub or the telemetry sampler so the registry
+stays the single source of metric truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+
+__all__ = [
+    "Counter",
+    "DURATION_BUCKETS_NS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Default duration buckets (simulated ns) for span histograms: fixed
+#: decade boundaries from 100 ns to 100 ms.
+DURATION_BUCKETS_NS = (
+    100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000,
+)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ConfigError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A last-written integer value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def set_gauge(self, value: int) -> None:
+        """Overwrite the gauge."""
+        self.value = value
+
+
+class Histogram:
+    """Fixed-boundary histogram (deterministic bucketing).
+
+    ``boundaries`` are upper-inclusive bucket edges; one implicit
+    overflow bucket catches everything above the last edge.
+    """
+
+    __slots__ = ("name", "boundaries", "counts", "total", "sum")
+
+    def __init__(self, name: str,
+                 boundaries: Sequence[int] = DURATION_BUCKETS_NS) -> None:
+        if not boundaries or list(boundaries) != sorted(set(boundaries)):
+            raise ConfigError(
+                f"histogram {name!r} needs strictly increasing boundaries")
+        self.name = name
+        self.boundaries: Tuple[int, ...] = tuple(boundaries)
+        self.counts: List[int] = [0] * (len(self.boundaries) + 1)
+        self.total = 0
+        self.sum = 0
+
+    def observe(self, value: int) -> None:
+        """Record one observation."""
+        index = len(self.boundaries)
+        for i, edge in enumerate(self.boundaries):
+            if value <= edge:
+                index = i
+                break
+        self.counts[index] += 1
+        self.total += 1
+        self.sum += value
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-stable summary (boundaries, counts, total, sum)."""
+        return {
+            "boundaries": list(self.boundaries),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+        }
+
+
+class MetricsRegistry:
+    """Name-addressed store of counters, gauges and histograms.
+
+    Instruments are created on first use and keep insertion order, so a
+    flattened dump is deterministic.  One name maps to exactly one
+    instrument kind — re-registering under a different kind is an error.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _check_free(self, name: str, own: Dict) -> None:
+        for table in (self._counters, self._gauges, self._histograms):
+            if table is not own and name in table:
+                raise ConfigError(
+                    f"metric {name!r} already registered as another kind")
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._check_free(name, self._counters)
+            instrument = Counter(name)
+            self._counters[name] = instrument
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._check_free(name, self._gauges)
+            instrument = Gauge(name)
+            self._gauges[name] = instrument
+        return instrument
+
+    def histogram(self, name: str,
+                  boundaries: Optional[Sequence[int]] = None) -> Histogram:
+        """The histogram called ``name`` (created on first use).
+
+        ``boundaries`` only applies at creation; later calls must not
+        contradict the registered edges.
+        """
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._check_free(name, self._histograms)
+            instrument = Histogram(name, boundaries or DURATION_BUCKETS_NS)
+            self._histograms[name] = instrument
+        elif (boundaries is not None
+              and tuple(boundaries) != instrument.boundaries):
+            raise ConfigError(
+                f"histogram {name!r} re-registered with different boundaries")
+        return instrument
+
+    # ------------------------------------------------------------- queries
+    def counter_names(self) -> List[str]:
+        """Registered counter names, insertion order."""
+        return list(self._counters)
+
+    def histogram_names(self) -> List[str]:
+        """Registered histogram names, insertion order."""
+        return list(self._histograms)
+
+    def as_flat_dict(self) -> Dict[str, int]:
+        """Counters and gauges flattened to ``name -> int``.
+
+        Histograms are summarised as ``<name>.total`` / ``<name>.sum``
+        (full bucket vectors via :meth:`histograms_dict`).
+        """
+        out: Dict[str, int] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            out[f"{name}.total"] = histogram.total
+            out[f"{name}.sum"] = histogram.sum
+        return out
+
+    def histograms_dict(self) -> Dict[str, Dict[str, object]]:
+        """Full histogram dumps keyed by name."""
+        return {name: h.as_dict() for name, h in self._histograms.items()}

@@ -1,0 +1,149 @@
+"""The Telemetry facade: typed, namespaced access to machine statistics.
+
+This replaces the flat ``Machine.counters()`` dict-of-dot-strings API.
+The facade is *stateless* — it samples the live machine on every call,
+so it needs no snapshot/restore handling of its own and two facades over
+the same machine always agree.
+
+    m.telemetry.counter("tlb.misses")          # one int
+    m.telemetry.group("dram")                  # {"reads": ..., ...}
+    m.telemetry.as_flat_dict()                 # the full behavioural dict
+
+``as_flat_dict()`` returns exactly the behavioural statistics — byte
+identical, key for key, to the legacy ``counters()`` dict — and never
+any ``trace.*`` material, so trace-on and trace-off runs of the same
+inputs compare equal through it (the differential suite relies on
+this).  Trace-side metrics (per-site counts, span histograms, buffer
+occupancy) are exposed separately via :meth:`trace_metrics` /
+:meth:`span_histograms` and are only non-empty when the machine was
+built with ``MachineConfig.trace != "off"``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .metrics import MetricsRegistry
+
+__all__ = ["Telemetry", "sample_machine"]
+
+
+def sample_machine(machine) -> Dict[str, int]:
+    """Every per-layer behavioural statistic, namespaced ``layer.counter``.
+
+    This is the single source of the registry the legacy
+    ``Machine.counters()`` shim and :class:`Telemetry` both expose.
+    Layers: ``clock``, ``kernel``, ``timers``, ``tlb``, ``cache``,
+    ``dram``, ``bank.<i>``, ``engine``, ``trr``, ``accounting`` and,
+    when loaded, ``softtrr`` and ``faults.<site>``.
+    """
+    kernel = machine.kernel
+    dram = kernel.dram
+    mmu = kernel.mmu
+    out: Dict[str, int] = {
+        "clock.now_ns": kernel.clock.now_ns,
+        "kernel.faults_handled": kernel.faults_handled,
+        "kernel.demand_pages": kernel.demand_pages,
+        "kernel.forks": kernel.forks,
+        "kernel.segfaults": kernel.segfaults,
+        "timers.fired": kernel.timers.fired,
+        "tlb.hits": mmu.tlb.hits,
+        "tlb.misses": mmu.tlb.misses,
+        "tlb.invalidations": mmu.tlb.invalidations,
+        "cache.hits": mmu.cache.hits,
+        "cache.misses": mmu.cache.misses,
+        "cache.flushes": mmu.cache.flushes,
+        "cache.evictions": mmu.cache.evictions,
+        "dram.reads": dram.reads,
+        "dram.writes": dram.writes,
+        "dram.total_activations": dram.total_activations,
+        "dram.applied_flips": dram.applied_flips,
+        "dram.flip_events": len(dram.flip_log),
+        "engine.total_deposits": dram.engine.total_deposits,
+        "engine.total_flip_events": dram.engine.total_flip_events,
+        "trr.targeted_refreshes": dram.trr.targeted_refreshes,
+    }
+    for index in range(dram.geometry.num_banks):
+        bank = dram.bank_state(index)
+        out[f"bank.{index}.activations"] = bank.activations
+        out[f"bank.{index}.hits"] = bank.hits
+    for category, ns in kernel.accountant.snapshot().items():
+        out[f"accounting.{category}"] = ns
+    softtrr = machine.softtrr
+    if softtrr is not None:
+        for key, value in vars(softtrr.stats()).items():
+            out[f"softtrr.{key}"] = value
+    injector = machine.fault_injector
+    if injector is not None:
+        for site, table in injector.counters.items():
+            for key, value in table.items():
+                out[f"faults.{site}.{key}"] = value
+    return out
+
+
+class Telemetry:
+    """Read-side facade over one machine's statistics and trace hub."""
+
+    __slots__ = ("_machine",)
+
+    def __init__(self, machine) -> None:
+        self._machine = machine
+
+    # -------------------------------------------------- behavioural side
+    def as_flat_dict(self) -> Dict[str, int]:
+        """The full behavioural registry (legacy ``counters()`` shape)."""
+        return sample_machine(self._machine)
+
+    def counter(self, name: str) -> int:
+        """One behavioural statistic by its dotted name."""
+        sample = sample_machine(self._machine)
+        try:
+            return sample[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown telemetry counter {name!r}; see as_flat_dict() "
+                "for the registered names") from None
+
+    def group(self, prefix: str) -> Dict[str, int]:
+        """All statistics under ``prefix.``, keyed by the suffix.
+
+        ``group("dram")`` returns ``{"reads": ..., "writes": ...}``;
+        ``group("faults.timer")`` returns one injection-site table.
+        """
+        dotted = prefix + "."
+        return {name[len(dotted):]: value
+                for name, value in sample_machine(self._machine).items()
+                if name.startswith(dotted)}
+
+    def registry(self) -> MetricsRegistry:
+        """The behavioural sample loaded into a typed registry."""
+        registry = MetricsRegistry()
+        for name, value in sample_machine(self._machine).items():
+            registry.gauge(name).set_gauge(value)
+        return registry
+
+    # -------------------------------------------------------- trace side
+    @property
+    def hub(self):
+        """The machine's trace hub, or ``None`` when tracing is off."""
+        return getattr(self._machine.kernel, "trace_hub", None)
+
+    def trace_metrics(self) -> Dict[str, int]:
+        """Trace-side counters (``site.*``, span summaries), or ``{}``."""
+        hub = self.hub
+        return hub.as_flat_dict() if hub is not None else {}
+
+    def span_histograms(self) -> Dict[str, Dict[str, object]]:
+        """Full span latency histograms keyed by name, or ``{}``."""
+        hub = self.hub
+        return hub.registry.histograms_dict() if hub is not None else {}
+
+    def trace_sites(self) -> List[str]:
+        """Distinct trace sites seen so far, or ``[]``."""
+        hub = self.hub
+        return hub.site_names() if hub is not None else []
+
+    def events(self) -> List:
+        """Buffered trace events (oldest first), or ``[]``."""
+        hub = self.hub
+        return hub.events() if hub is not None else []

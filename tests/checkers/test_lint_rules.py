@@ -13,6 +13,7 @@ from repro.checkers.rules import (
     ExportConsistencyRule,
     FaultChokePointRule,
     MachineAssemblyRule,
+    MetricMutationRule,
     RawBitLiteralRule,
     UnseededRandomRule,
     WallClockRule,
@@ -262,6 +263,43 @@ class TestFaultChokePointRule:
                    rules=[FaultChokePointRule()]) == []
 
 
+class TestMetricMutationRule:
+    def test_inc_call_flagged(self):
+        findings = run("registry.counter('tlb.misses').inc()\n",
+                       rules=[MetricMutationRule()])
+        assert ids(findings) == ["RPR008"]
+
+    def test_observe_and_set_gauge_flagged(self):
+        findings = run("hist.observe(12)\ngauge.set_gauge(5)\n",
+                       rules=[MetricMutationRule()])
+        assert ids(findings) == ["RPR008", "RPR008"]
+
+    def test_registry_internal_write_flagged(self):
+        findings = run("registry._counters['x'] = Counter('x')\n"
+                       "registry._histograms['y'] = h\n",
+                       rules=[MetricMutationRule()])
+        assert ids(findings) == ["RPR008", "RPR008"]
+
+    def test_allowed_in_trace_package(self):
+        assert run("self.registry.counter(name).inc()\n",
+                   rel_path="src/repro/trace/hub.py",
+                   rules=[MetricMutationRule()]) == []
+
+    def test_allowed_in_tests(self):
+        assert run("registry.counter('x').inc()\n",
+                   rel_path="tests/trace/test_metrics.py",
+                   rules=[MetricMutationRule()]) == []
+
+    def test_suppressed(self):
+        src = "counter.inc()  # repro-lint: disable=RPR008\n"
+        assert run(src, rules=[MetricMutationRule()]) == []
+
+    def test_innocent_code_ignored(self):
+        assert run("counter.value = 3\nobj.items[0] = 1\n"
+                   "registry.histogram('x')\nx += 1\n",
+                   rules=[MetricMutationRule()]) == []
+
+
 class TestFramework:
     def test_disable_all(self):
         src = "import time  # repro-lint: disable=all\n"
@@ -294,4 +332,4 @@ class TestFramework:
     def test_default_rules_ids_stable(self):
         assert [r.rule_id for r in default_rules()] == [
             "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
-            "RPR007"]
+            "RPR007", "RPR008"]

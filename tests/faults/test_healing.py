@@ -50,7 +50,7 @@ class TestRefreshRetry:
         assert refresher.failed_attempts == 1
         assert refresher.retried_refreshes == 1
         assert refresher.refreshes == 1
-        assert m.counters()["faults.refresher.healed"] == 1
+        assert m.telemetry.counter("faults.refresher.healed") == 1
 
     def test_no_retries_by_default(self):
         m = _machine(_refresher_plan(1))
@@ -58,7 +58,7 @@ class TestRefreshRetry:
         assert refresher.refresh(0, 5) is False
         assert refresher.failed_refreshes == 1
         assert refresher.refreshes == 0
-        assert m.counters()["faults.refresher.healed"] == 0
+        assert m.telemetry.counter("faults.refresher.healed") == 0
 
     def test_exhausted_retries_report_failure(self):
         m = _machine(_refresher_plan(probability=1.0),
@@ -146,10 +146,10 @@ class TestResync:
         tracer, proc = _armed_machine(m)
         ref = next(iter(tracer._armed.values()))
         kernel.user_write(proc, ref.vaddr, b"y")  # swallowed
-        assert m.counters()["faults.mmu.injected"] >= 1
+        assert m.telemetry.counter("faults.mmu.injected") >= 1
         repairs = m.softtrr.resync()
         assert repairs >= 1
-        assert m.counters()["faults.mmu.healed"] >= 1
+        assert m.telemetry.counter("faults.mmu.healed") >= 1
 
     def test_resync_reflushes_a_stale_tlb_entry(self):
         # Arming always flushes the armed vaddr; a lost invlpg leaves the
@@ -169,4 +169,4 @@ class TestResync:
         # Each stale entry got a fresh invlpg and was credited (at p=1.0
         # the re-issue is lost again — the *next* resync retries it; the
         # chaos sweep shows the loop converges at realistic intensities).
-        assert m.counters()["faults.tlb.healed"] >= len(stale)
+        assert m.telemetry.counter("faults.tlb.healed") >= len(stale)

@@ -72,7 +72,7 @@ class TestInstalledWrappers:
         m = Machine(machine="tiny", fault_plan=plan)
         assert m.fault_injector is not None
         assert m.fault_injector.installed
-        assert m.counters()["faults.timers.opportunities"] == 0
+        assert m.telemetry.counter("faults.timers.opportunities") == 0
 
     def test_empty_plan_installs_nothing(self):
         m = Machine(machine="tiny", fault_plan=FaultPlan())
@@ -102,7 +102,7 @@ class TestInstalledWrappers:
         m.clock.advance(50_000)
         m.kernel.dispatch_timers()
         assert tracer.ticks == t0
-        assert m.counters()["faults.timers.injected"] >= 1
+        assert m.telemetry.counter("faults.timers.injected") >= 1
         # The periodic re-armed independently of the drop: with the
         # injector gone, the next tick lands.
         m.fault_injector.uninstall()
@@ -121,7 +121,7 @@ class TestInstalledWrappers:
         m.clock.advance(50_000)
         m.kernel.dispatch_timers()
         assert tracer.ticks == t0
-        assert m.counters()["faults.timers.delayed"] >= 1
+        assert m.telemetry.counter("faults.timers.delayed") >= 1
         # The deferred callback is pending in the clock; once the
         # injector stops re-delaying it, it fires after the deferral.
         m.fault_injector.uninstall()
@@ -134,7 +134,7 @@ class TestInstalledWrappers:
                                at_opportunities=(1,)))
         m = Machine(machine="tiny", fault_plan=plan)
         m.kernel.mmu.invlpg(0x4000)
-        assert m.counters()["faults.tlb.suppressed"] == 1
+        assert m.telemetry.counter("faults.tlb.suppressed") == 1
 
     def test_dropped_notify_skips_callbacks_but_counts_dispatch(self):
         plan = _plan(FaultSpec(site="hooks", mode="drop",

@@ -102,7 +102,7 @@ class TestMachineFacade:
         assert first.slices == second.slices
 
 
-class TestCounters:
+class TestTelemetry:
     EXPECTED = {
         "clock.now_ns", "kernel.faults_handled", "kernel.forks",
         "timers.fired", "tlb.hits", "tlb.misses", "cache.hits",
@@ -112,27 +112,43 @@ class TestCounters:
     }
 
     def test_expected_keys_present_and_integral(self):
-        counters = Machine(machine="tiny").counters()
+        counters = Machine(machine="tiny").telemetry.as_flat_dict()
         assert self.EXPECTED <= set(counters)
         assert all(isinstance(v, int) for v in counters.values())
 
     def test_one_bank_entry_per_dram_bank(self):
         m = Machine(machine="tiny")
-        activations = [k for k in m.counters()
+        activations = [k for k in m.telemetry.as_flat_dict()
                        if k.startswith("bank.") and k.endswith(".activations")]
         assert len(activations) == m.dram.geometry.num_banks
 
     def test_softtrr_layer_appears_when_loaded(self):
         m = Machine(machine="tiny")
-        assert not any(k.startswith("softtrr.") for k in m.counters())
+        assert not any(k.startswith("softtrr.")
+                       for k in m.telemetry.as_flat_dict())
         m.load_softtrr()
-        assert "softtrr.protected_pages" in m.counters()
+        assert "softtrr.protected_pages" in m.telemetry.as_flat_dict()
 
     def test_counters_move_with_work(self):
         m = Machine(machine="tiny")
-        before = m.counters()
+        before = m.telemetry.as_flat_dict()
         m.run_workload(SHORT, seed=3)
-        after = m.counters()
+        after = m.telemetry.as_flat_dict()
         assert after["clock.now_ns"] > before["clock.now_ns"]
         assert after["dram.reads"] >= before["dram.reads"]
         assert after["kernel.faults_handled"] > before["kernel.faults_handled"]
+
+    def test_counter_and_group_views(self):
+        m = Machine(machine="tiny")
+        flat = m.telemetry.as_flat_dict()
+        assert m.telemetry.counter("tlb.misses") == flat["tlb.misses"]
+        dram = m.telemetry.group("dram")
+        assert dram["reads"] == flat["dram.reads"]
+        with pytest.raises(KeyError):
+            m.telemetry.counter("no.such.counter")
+
+    def test_counters_shim_warns_but_matches(self):
+        m = Machine(machine="tiny")
+        with pytest.warns(DeprecationWarning, match="telemetry"):
+            legacy = m.counters()
+        assert legacy == m.telemetry.as_flat_dict()

@@ -62,7 +62,7 @@ def _hammer_replay(machine, aggr):
 
 def _observables(machine):
     return (tuple(machine.dram.flip_log), machine.clock.now_ns,
-            machine.counters())
+            machine.telemetry.as_flat_dict())
 
 
 class TestSnapshotRestore:
@@ -162,8 +162,10 @@ class TestSnapshotWithFaultPlan:
         assert m.fault_injector.installed
         assert m.kernel.fault_injector is m.fault_injector
         # Counters rewound with the rest of the machine.
-        assert all(value == 0 for key, value in m.counters().items()
-                   if key.startswith("faults."))
+        assert all(
+            value == 0
+            for key, value in m.telemetry.as_flat_dict().items()
+            if key.startswith("faults."))
 
     def test_snapshot_is_reusable_with_faults_active(self):
         m = self._machine(batch=False)

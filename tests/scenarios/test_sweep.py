@@ -67,8 +67,12 @@ class TestCli:
         assert "unknown scenario" in capsys.readouterr().err
 
     def test_bad_worker_count_is_an_error(self, capsys):
+        assert main(["smoke-stress-clone", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_workers_alias_still_accepted(self, capsys):
         assert main(["smoke-stress-clone", "--workers", "0"]) == 2
-        assert "--workers" in capsys.readouterr().err
+        assert "--jobs" in capsys.readouterr().err
 
     def test_runs_named_scenarios_to_stdout(self, capsys):
         assert main(["smoke-stress-clone"]) == 0

@@ -1,0 +1,73 @@
+"""TraceEvent / TraceBuffer unit behaviour: ring semantics, roundtrip."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.trace import DEFAULT_CAPACITY, TraceBuffer, TraceEvent
+
+
+def ev(i):
+    return TraceEvent(ns=i * 10, site=f"site.{i % 3}", payload={"i": i})
+
+
+class TestTraceEvent:
+    def test_dict_roundtrip(self):
+        event = TraceEvent(ns=42, site="pte.arm", kind="event",
+                           payload={"pte_paddr": 4096})
+        assert TraceEvent.from_dict(event.as_dict()) == event
+
+    def test_kind_defaults_on_import(self):
+        assert TraceEvent.from_dict({"ns": 1, "site": "x"}).kind == "event"
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            TraceEvent(ns=1, site="x").ns = 2
+
+
+class TestTraceBuffer:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigError, match="capacity"):
+            TraceBuffer(0)
+
+    def test_default_capacity(self):
+        assert TraceBuffer().capacity == DEFAULT_CAPACITY
+
+    def test_append_below_capacity_keeps_order(self):
+        buf = TraceBuffer(8)
+        for i in range(5):
+            buf.append(ev(i))
+        assert len(buf) == 5
+        assert buf.dropped == 0
+        assert [e.payload["i"] for e in buf.events()] == [0, 1, 2, 3, 4]
+
+    def test_overflow_drops_oldest(self):
+        buf = TraceBuffer(4)
+        for i in range(7):
+            buf.append(ev(i))
+        assert len(buf) == 4
+        assert buf.dropped == 3
+        # Flight recorder: the most recent window survives, oldest first.
+        assert [e.payload["i"] for e in buf.events()] == [3, 4, 5, 6]
+
+    def test_wrap_is_deterministic(self):
+        a, b = TraceBuffer(3), TraceBuffer(3)
+        for i in range(11):
+            a.append(ev(i))
+            b.append(ev(i))
+        assert a.events() == b.events()
+        assert a.dropped == b.dropped == 8
+
+    def test_clear_resets_everything(self):
+        buf = TraceBuffer(2)
+        for i in range(5):
+            buf.append(ev(i))
+        buf.clear()
+        assert len(buf) == 0
+        assert buf.dropped == 0
+        assert buf.events() == []
+
+    def test_iter_matches_events(self):
+        buf = TraceBuffer(3)
+        for i in range(5):
+            buf.append(ev(i))
+        assert list(buf) == buf.events()

@@ -1,0 +1,93 @@
+"""Metric instruments and the registry: deterministic, kind-safe."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.trace import (
+    Counter,
+    DURATION_BUCKETS_NS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_monotone(self):
+        counter = Counter("x")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ConfigError, match="decrease"):
+            counter.inc(-1)
+
+    def test_gauge_overwrites(self):
+        gauge = Gauge("g")
+        gauge.set_gauge(7)
+        gauge.set_gauge(3)
+        assert gauge.value == 3
+
+    def test_histogram_buckets_upper_inclusive(self):
+        hist = Histogram("h", boundaries=(10, 100))
+        for value in (5, 10, 11, 100, 101):
+            hist.observe(value)
+        # <=10, <=100, overflow
+        assert hist.counts == [2, 2, 1]
+        assert hist.total == 5
+        assert hist.sum == 227
+
+    def test_histogram_rejects_unsorted_boundaries(self):
+        with pytest.raises(ConfigError, match="increasing"):
+            Histogram("h", boundaries=(10, 10))
+        with pytest.raises(ConfigError, match="increasing"):
+            Histogram("h", boundaries=())
+
+    def test_histogram_as_dict_stable(self):
+        hist = Histogram("h", boundaries=(1, 2))
+        hist.observe(2)
+        assert hist.as_dict() == {
+            "boundaries": [1, 2], "counts": [0, 1, 0],
+            "total": 1, "sum": 2,
+        }
+
+
+class TestMetricsRegistry:
+    def test_create_on_first_use_and_identity(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_cross_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigError, match="another kind"):
+            registry.gauge("x")
+        with pytest.raises(ConfigError, match="another kind"):
+            registry.histogram("x")
+
+    def test_histogram_boundary_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", boundaries=(1, 2))
+        registry.histogram("h", boundaries=(1, 2))  # same edges: fine
+        with pytest.raises(ConfigError, match="different boundaries"):
+            registry.histogram("h", boundaries=(1, 3))
+
+    def test_default_boundaries_are_the_duration_buckets(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("h").boundaries == DURATION_BUCKETS_NS
+
+    def test_as_flat_dict_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set_gauge(9)
+        registry.histogram("h", boundaries=(10,)).observe(4)
+        assert registry.as_flat_dict() == {
+            "c": 2, "g": 9, "h.total": 1, "h.sum": 4,
+        }
+
+    def test_name_listings_keep_insertion_order(self):
+        registry = MetricsRegistry()
+        for name in ("z", "a", "m"):
+            registry.counter(name)
+        assert registry.counter_names() == ["z", "a", "m"]
