@@ -1,0 +1,64 @@
+"""Reachability over the resolved call graph.
+
+The flow rules all reduce to the same question — *starting from these
+seed functions, what does the program transitively reach?* — so the BFS
+lives here once.  The closure records a parent edge per reached
+function, which lets a rule print the exact call chain that carries a
+hazard (``payload -> helper -> SimClock read``) instead of a bare
+"something somewhere touches the clock".
+
+Propagation can be *stopped* at modules matching ``stop_paths``: RPR009
+uses this to let ``repro/trace/`` read the clock (timestamping is the
+trace hub's job) without laundering reachability through it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..framework import path_matches
+from .callgraph import Program
+
+__all__ = ["closure_from", "chain_to"]
+
+
+def closure_from(
+    program: Program,
+    seeds: Iterable[str],
+    stop_paths: Sequence[str] = (),
+) -> Dict[str, Optional[str]]:
+    """BFS closure of callees from ``seeds``.
+
+    Returns ``reached qname -> parent qname`` (``None`` for seeds).
+    Functions defined under a ``stop_paths`` entry are *reached* (they
+    appear in the map) but do not propagate further.
+    """
+    parents: Dict[str, Optional[str]] = {}
+    queue: deque = deque()
+    for seed in seeds:
+        if seed not in parents:
+            parents[seed] = None
+            queue.append(seed)
+    while queue:
+        current = queue.popleft()
+        fn = program.table.function(current)
+        if fn is not None and stop_paths and \
+                path_matches(fn.rel_path, stop_paths):
+            continue
+        for callee in program.callees(current):
+            if callee not in parents:
+                parents[callee] = current
+                queue.append(callee)
+    return parents
+
+
+def chain_to(parents: Dict[str, Optional[str]], qname: str) -> List[str]:
+    """The seed-to-``qname`` call chain recorded by :func:`closure_from`."""
+    out = [qname]
+    while True:
+        parent = parents.get(out[-1])
+        if parent is None:
+            break
+        out.append(parent)
+    return list(reversed(out))

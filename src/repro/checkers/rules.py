@@ -44,7 +44,13 @@ import ast
 from typing import Iterable, List, Sequence, Set
 
 from ..mmu import bits
-from .framework import Finding, LintContext, LintRule
+from .framework import (
+    Finding,
+    LintContext,
+    LintRule,
+    make_rules,
+    register_rule,
+)
 
 #: Wall-clock reads (and sleeps) that would leak host time into a run.
 _WALL_CLOCK_NAMES = frozenset({
@@ -58,6 +64,7 @@ _RESERVED_MASK_VALUE = bits.PTE_RESERVED_MASK
 _RSVD_BIT_INDEX = bits.PTE_RSVD_TRACE.bit_length() - 1
 
 
+@register_rule
 class WallClockRule(LintRule):
     """RPR001: wall-clock time is only legal inside ``repro/clock.py``."""
 
@@ -100,6 +107,7 @@ class WallClockRule(LintRule):
                 )
 
 
+@register_rule
 class UnseededRandomRule(LintRule):
     """RPR002: ``import random`` is only legal inside ``repro/rng.py``."""
 
@@ -121,6 +129,7 @@ class UnseededRandomRule(LintRule):
             )
 
 
+@register_rule
 class RawBitLiteralRule(LintRule):
     """RPR003: bit-51/reserved-mask literals live in ``repro/mmu/bits.py``."""
 
@@ -156,6 +165,7 @@ class RawBitLiteralRule(LintRule):
                 )
 
 
+@register_rule
 class WriteEntryRule(LintRule):
     """RPR004: ``write_entry`` calls are restricted to the MMU layer.
 
@@ -184,6 +194,7 @@ class WriteEntryRule(LintRule):
             )
 
 
+@register_rule
 class ExportConsistencyRule(LintRule):
     """RPR005: package ``__init__.py`` exports are complete and bound."""
 
@@ -246,6 +257,7 @@ class ExportConsistencyRule(LintRule):
                 )
 
 
+@register_rule
 class MachineAssemblyRule(LintRule):
     """RPR006: machines are assembled through :mod:`repro.machine`.
 
@@ -286,6 +298,7 @@ class MachineAssemblyRule(LintRule):
             )
 
 
+@register_rule
 class FaultChokePointRule(LintRule):
     """RPR007: timer/hook delivery is wrapped only by ``repro.faults``.
 
@@ -341,6 +354,7 @@ class FaultChokePointRule(LintRule):
                 )
 
 
+@register_rule
 class MetricMutationRule(LintRule):
     """RPR008: metric mutation is :mod:`repro.trace`'s monopoly.
 
@@ -459,14 +473,10 @@ def _all_assignment(stmt: ast.stmt):
 
 
 def default_rules() -> Sequence[LintRule]:
-    """Fresh instances of every rule, in rule-ID order."""
-    return (
-        WallClockRule(),
-        UnseededRandomRule(),
-        RawBitLiteralRule(),
-        WriteEntryRule(),
-        ExportConsistencyRule(),
-        MachineAssemblyRule(),
-        FaultChokePointRule(),
-        MetricMutationRule(),
-    )
+    """Fresh instances of every shallow rule, in rule-ID order.
+
+    Reads the shared registry in :mod:`repro.checkers.framework` — the
+    same one the flow pass registers into — so this module's only
+    registration boilerplate is the ``@register_rule`` decorator.
+    """
+    return make_rules("shallow")

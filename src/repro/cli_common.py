@@ -1,9 +1,9 @@
 """Shared argparse conventions for the ``repro-*`` command-line tools.
 
 Every CLI in this repo (``repro-sweep``, ``repro-chaos``,
-``repro-perfbench``, ``repro-trace``, ``repro-lint``) historically grew
-its own spellings for the same knobs (``--workers`` vs ``--jobs``,
-``--output`` vs ``--out``).  This module pins the canonical flags and
+``repro-perfbench``, ``repro-trace``, ``repro-lint``,
+``repro-analyze``) historically grew its own spellings for the same
+knobs (``--workers`` vs ``--jobs``, ``--output`` vs ``--out``).  This module pins the canonical flags and
 exit codes; the old spellings stay as hidden aliases so existing
 invocations keep working.
 

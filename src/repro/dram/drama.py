@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..errors import DramError
-from ..rng import Random
+from ..rng import Random, derive_rng
 from .address import AddressMapping
 from .geometry import LINE_BYTES, LINE_SHIFT
 from .module import DramModule
@@ -87,7 +87,7 @@ class DramaProbe:
 
     def __init__(self, module: DramModule, rng: Optional[Random] = None) -> None:
         self.module = module
-        self.rng = rng or Random(0xD0A)
+        self.rng = rng or derive_rng("drama", "probe")
         self.measurements = 0
         hit = module.timings.hit_latency_ns
         conflict = module.timings.conflict_latency_ns

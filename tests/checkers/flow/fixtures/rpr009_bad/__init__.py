@@ -1,0 +1,1 @@
+"""Known-bad RPR009 fixture: a trace payload reaches a clock read."""

@@ -1,0 +1,23 @@
+"""Emits a trace event whose payload transitively reads the clock."""
+
+from .helpers import describe
+
+
+class Engine:
+    def __init__(self, clock, trace=None):
+        self.clock = clock
+        self.trace = trace
+
+    def step(self):
+        if self.trace is not None:
+            self.trace.emit("engine.step", info=describe(self.clock))
+
+
+class Roller:
+    def __init__(self, rng, trace=None):
+        self.rng = rng
+        self.trace = trace
+
+    def roll(self):
+        if self.trace is not None:
+            self.trace.emit("roller.roll", draw=self.rng.randint(0, 7))

@@ -1,0 +1,9 @@
+"""Payload helpers; the hazard is two hops from the emission site."""
+
+
+def describe(clock):
+    return transitive(clock)
+
+
+def transitive(clock):
+    return clock.now_ns

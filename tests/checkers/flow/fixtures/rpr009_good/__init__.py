@@ -1,0 +1,1 @@
+"""Known-good RPR009 fixture: payloads are pure, clock read precomputed."""

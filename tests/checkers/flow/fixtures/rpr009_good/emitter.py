@@ -1,0 +1,14 @@
+"""Emits trace events with pure payloads only."""
+
+from .helpers import describe
+
+
+class Engine:
+    def __init__(self, clock, trace=None):
+        self.clock = clock
+        self.trace = trace
+
+    def step(self):
+        now = self.clock.now_ns
+        if self.trace is not None:
+            self.trace.emit("engine.step", at_ns=now, info=describe(3))

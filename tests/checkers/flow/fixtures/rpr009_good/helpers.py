@@ -1,0 +1,9 @@
+"""Pure payload helpers: arithmetic only, no clock, no RNG."""
+
+
+def describe(value):
+    return transitive(value)
+
+
+def transitive(value):
+    return value + 1

@@ -1,0 +1,1 @@
+"""Known-bad RPR010 fixture: random.Random laundered through aliases."""

@@ -1,0 +1,3 @@
+"""Cross-module re-export of the laundered factory (second hop)."""
+
+from .rnglib import Factory

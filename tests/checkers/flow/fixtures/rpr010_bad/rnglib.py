@@ -1,0 +1,5 @@
+"""Aliases random.Random behind a local name (first laundering hop)."""
+
+from random import Random as _R
+
+Factory = _R

@@ -1,0 +1,17 @@
+"""Constructs RNGs through the laundered chain and directly."""
+
+from .reexport import Factory as MakeRng
+
+
+class Sampler:
+    def __init__(self):
+        self._factory = MakeRng
+
+    def make(self):
+        return self._factory(99)
+
+
+def direct():
+    import random
+
+    return random.Random(1)

@@ -1,0 +1,1 @@
+"""Known-good RPR010 fixture: all RNGs come from the rng module."""

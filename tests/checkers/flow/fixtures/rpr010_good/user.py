@@ -1,0 +1,11 @@
+"""Derives streams properly and threads injected RNGs around."""
+
+from .rng import derive_rng
+
+
+class Sampler:
+    def __init__(self, rng=None):
+        self.rng = rng or derive_rng("sampler")
+
+    def make(self):
+        return self.rng.randint(0, 7)

@@ -1,0 +1,1 @@
+"""Known-bad RPR011 fixture: wrapper installed by an unregistered class."""

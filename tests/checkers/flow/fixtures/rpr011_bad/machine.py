@@ -1,0 +1,20 @@
+"""A Machine whose snapshot deepcopies without uninstalling Widget."""
+
+import copy
+
+from .widget import Widget
+
+
+class Kernel:
+    def __init__(self):
+        self.value = 0
+        self.tick = None
+
+
+class Machine:
+    def __init__(self):
+        self.kernel = Kernel()
+        self.widget = Widget(self.kernel).install()
+
+    def snapshot(self):
+        return copy.deepcopy(self.kernel)

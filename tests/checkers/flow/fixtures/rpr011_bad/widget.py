@@ -1,0 +1,15 @@
+"""Installs a closure on a foreign object; nothing ever uninstalls it."""
+
+
+class Widget:
+    def __init__(self, kernel):
+        self.kernel = kernel
+
+    def install(self):
+        kernel = self.kernel
+
+        def wrapped():
+            return 1
+
+        kernel.tick = wrapped
+        return self

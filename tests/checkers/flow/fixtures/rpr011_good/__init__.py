@@ -1,0 +1,1 @@
+"""Known-good RPR011 fixture: installers registered with snapshot."""

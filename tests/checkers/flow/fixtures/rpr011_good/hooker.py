@@ -1,0 +1,9 @@
+"""Unregistered class storing a hook that Widget.uninstall clears."""
+
+
+class Hooker:
+    def install_on(self, kernel):
+        def hook():
+            return 3
+
+        kernel.probe_hook = hook

@@ -1,0 +1,26 @@
+"""A Machine whose snapshot uninstalls the Widget around deepcopy."""
+
+import copy
+
+from .widget import Widget
+
+
+class Kernel:
+    def __init__(self):
+        self.value = 0
+        self.tick = None
+        self.probe_hook = None
+
+
+class Machine:
+    def __init__(self):
+        self.kernel = Kernel()
+        self.widget = Widget(self.kernel).install()
+
+    def snapshot(self):
+        widget = self.widget
+        widget.uninstall()
+        try:
+            return copy.deepcopy(self.kernel)
+        finally:
+            widget.install()

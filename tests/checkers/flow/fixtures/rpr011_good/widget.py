@@ -1,0 +1,24 @@
+"""Installer that snapshot uninstalls, plus a hook a registered
+uninstall clears on behalf of an unregistered holder."""
+
+
+class Widget:
+    def __init__(self, kernel):
+        self.kernel = kernel
+
+    def probe(self):
+        return 1
+
+    def install(self):
+        kernel = self.kernel
+
+        def wrapped():
+            return 2
+
+        kernel.tick = wrapped
+        kernel.probe_hook = self.probe
+        return self
+
+    def uninstall(self):
+        self.kernel.tick = None
+        self.kernel.probe_hook = None

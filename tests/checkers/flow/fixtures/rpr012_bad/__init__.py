@@ -1,0 +1,1 @@
+"""Known-bad RPR012 fixture: unpicklable / capturing pool workers."""

@@ -1,0 +1,40 @@
+"""Every way to hand a pool something that breaks parallel == serial."""
+
+import multiprocessing
+
+_MODE = "fast"
+
+
+def configure(mode):
+    global _MODE
+    _MODE = mode
+
+
+def bad_capture(item):
+    return (_MODE, item)
+
+
+def run_lambda(items):
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(lambda item: item + 1, items)
+
+
+def run_capture(items):
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(bad_capture, items)
+
+
+def run_nested(items):
+    def inner(item):
+        return item
+
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(inner, items)
+
+
+class Driver:
+    def work(self, item):
+        return item
+
+    def run(self, pool, items):
+        return pool.map(self.work, items)

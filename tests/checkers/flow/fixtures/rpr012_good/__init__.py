@@ -1,0 +1,1 @@
+"""Known-good RPR012 fixture: top-level, capture-free pool workers."""

@@ -1,0 +1,27 @@
+"""A registry populated at import time (never rebound) is fine."""
+
+import multiprocessing
+
+_RUNNERS = {}
+
+
+def register(name):
+    def deco(fn):
+        _RUNNERS[name] = fn
+        return fn
+
+    return deco
+
+
+@register("double")
+def double(item):
+    return item * 2
+
+
+def run_worker(item):
+    return _RUNNERS["double"](item)
+
+
+def run_all(items):
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(run_worker, items)

@@ -1,0 +1,183 @@
+"""CLI tests for ``repro-analyze`` and ``repro-lint --deep``.
+
+Covers the acceptance bar: ``repro-analyze --check`` exits 0 on the
+real ``src/repro`` tree; a seeded violation turns the exit non-zero;
+baselines grandfather known findings; and the deep pass reuses the
+shallow pass's parsed ASTs (one ``ast.parse`` per file, total).
+"""
+
+import ast
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.checkers import framework
+from repro.checkers.flow.analyze import BASELINE_NAME, main as analyze_main
+from repro.checkers.lint import main as lint_main
+from repro.cli_common import EXIT_CHECK_FAILED, EXIT_OK, EXIT_USAGE
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def copy_fixture(tmp_path, name):
+    root = tmp_path / name
+    shutil.copytree(FIXTURES / name, root)
+    return root
+
+
+# ------------------------------------------------------------ self-check
+def test_analyze_check_clean_on_real_tree(capsys):
+    """The committed src/repro tree carries zero unsuppressed findings."""
+    assert analyze_main([str(SRC_REPRO), "--check"]) == EXIT_OK
+    out = capsys.readouterr()
+    assert "0 finding(s)" in out.err
+
+
+def test_seeded_violation_fails_the_gate(tmp_path, capsys):
+    """A clock read smuggled into a trace payload flips the exit code."""
+    root = copy_fixture(tmp_path, "rpr009_good")
+    helpers = root / "helpers.py"
+    helpers.write_text(helpers.read_text().replace(
+        "return value + 1", "return value + value.now_ns"))
+    assert analyze_main([str(root), "--check"]) == EXIT_CHECK_FAILED
+    out = capsys.readouterr()
+    assert "RPR009" in out.out
+
+
+# ------------------------------------------------------------ output modes
+def test_json_report_shape(tmp_path, capsys):
+    root = copy_fixture(tmp_path, "rpr010_bad")
+    assert analyze_main([str(root), "--json"]) == EXIT_CHECK_FAILED
+    report = json.loads(capsys.readouterr().out)
+    assert report["count"] == 2
+    assert report["grandfathered"] == 0
+    assert report["rules"] == ["RPR009", "RPR010", "RPR011", "RPR012"]
+    assert report["wall_time_s"] >= 0
+    assert {f["rule_id"] for f in report["findings"]} == {"RPR010"}
+    assert all("symbol" in f for f in report["findings"])
+
+
+def test_out_writes_report_file(tmp_path, capsys):
+    root = copy_fixture(tmp_path, "rpr010_good")
+    out_path = tmp_path / "report.json"
+    assert analyze_main(
+        [str(root), "--json", "--out", str(out_path)]) == EXIT_OK
+    report = json.loads(out_path.read_text())
+    assert report["count"] == 0
+    capsys.readouterr()
+
+
+def test_graph_dump_contains_resolved_edges(tmp_path, capsys):
+    root = copy_fixture(tmp_path, "rpr009_bad")
+    assert analyze_main([str(root), "--graph"]) == EXIT_OK
+    graph = json.loads(capsys.readouterr().out)
+    edges = graph["edges"]["rpr009_bad.helpers.describe"]
+    assert "rpr009_bad.helpers.transitive" in edges
+
+
+def test_list_rules_and_rule_selection(tmp_path, capsys):
+    assert analyze_main(["--list-rules"]) == EXIT_OK
+    listed = capsys.readouterr().out
+    for rule_id in ("RPR009", "RPR010", "RPR011", "RPR012"):
+        assert rule_id in listed
+    root = copy_fixture(tmp_path, "rpr010_bad")
+    # Selecting a different rule silences the RPR010 findings.
+    assert analyze_main([str(root), "--rules", "RPR011"]) == EXIT_OK
+    assert analyze_main([str(root), "--rules", "RPR999"]) == EXIT_USAGE
+    capsys.readouterr()
+
+
+def test_bad_root_is_a_usage_error(tmp_path, capsys):
+    assert analyze_main([str(tmp_path / "missing")]) == EXIT_USAGE
+    # A directory that is not a package is rejected with a hint.
+    (tmp_path / "plain").mkdir()
+    assert analyze_main([str(tmp_path / "plain")]) == EXIT_USAGE
+    assert "package" in capsys.readouterr().err
+
+
+# -------------------------------------------------------------- baseline
+def test_baseline_grandfathers_known_findings(tmp_path, capsys):
+    root = copy_fixture(tmp_path, "rpr010_bad")
+    baseline = tmp_path / BASELINE_NAME
+    assert analyze_main(
+        [str(root), "--write-baseline", "--baseline", str(baseline)]) \
+        == EXIT_OK
+    fingerprints = json.loads(baseline.read_text())["fingerprints"]
+    assert len(fingerprints) == 2
+    # With the baseline, the same findings no longer fail the gate...
+    assert analyze_main(
+        [str(root), "--check", "--json", "--baseline", str(baseline)]) \
+        == EXIT_OK
+    capsys.readouterr()
+    # ...and the default discovery finds a baseline placed above root.
+    assert analyze_main([str(root), "--check"]) == EXIT_OK
+    capsys.readouterr()
+    # A *new* violation still fails despite the baseline.
+    (root / "fresh.py").write_text(
+        "import random\n\n\ndef fresh():\n    return random.Random(7)\n")
+    assert analyze_main(
+        [str(root), "--check", "--baseline", str(baseline)]) \
+        == EXIT_CHECK_FAILED
+    report = capsys.readouterr()
+    assert "fresh.py" in report.out
+
+
+def test_baseline_fingerprints_survive_line_drift(tmp_path, capsys):
+    root = copy_fixture(tmp_path, "rpr010_bad")
+    baseline = tmp_path / BASELINE_NAME
+    assert analyze_main(
+        [str(root), "--write-baseline", "--baseline", str(baseline)]) \
+        == EXIT_OK
+    user = root / "user.py"
+    user.write_text('"""Moved down."""\n\n\n' + user.read_text())
+    assert analyze_main(
+        [str(root), "--check", "--baseline", str(baseline)]) == EXIT_OK
+    capsys.readouterr()
+
+
+# -------------------------------------------------- repro-lint --deep
+def test_lint_deep_runs_flow_rules(tmp_path, capsys):
+    root = copy_fixture(tmp_path, "rpr010_bad")
+    assert lint_main([str(root), "--deep", "--format", "json"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["deep"] is True
+    assert report["wall_time_s"] >= 0
+    assert any(f["rule_id"] == "RPR010" for f in report["findings"])
+
+
+def test_lint_deep_selecting_flow_rule_requires_deep(tmp_path, capsys):
+    root = copy_fixture(tmp_path, "rpr010_good")
+    assert lint_main([str(root), "--rules", "RPR010"]) == 2
+    assert "--deep" in capsys.readouterr().err
+    assert lint_main([str(root), "--deep", "--rules", "RPR010"]) == 0
+
+
+def test_lint_list_rules_shows_both_kinds(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    listed = capsys.readouterr().out
+    assert "RPR001" in listed and "[shallow]" in listed
+    assert "RPR012" in listed and "[flow]" in listed
+
+
+def test_deep_pass_parses_each_file_exactly_once(tmp_path, monkeypatch):
+    """The AST cache: shallow + flow passes share one parse per file."""
+    root = copy_fixture(tmp_path, "rpr009_good")
+    py_files = list(root.rglob("*.py"))
+    calls = []
+    real_parse = ast.parse
+
+    def counting_parse(source, *args, **kwargs):
+        calls.append(kwargs.get("filename") or (args[0] if args else "?"))
+        return real_parse(source, *args, **kwargs)
+
+    monkeypatch.setattr(framework.ast, "parse", counting_parse)
+    # RPR001 keeps the shallow walk, RPR009 forces the flow pass; the
+    # copied fixture is clean under both (RPR005 wants __all__ in real
+    # package inits, which the mini-fixtures deliberately skip).
+    assert lint_main(
+        [str(root), "--deep", "--rules", "RPR001,RPR009"]) == 0
+    assert len(calls) == len(py_files)
