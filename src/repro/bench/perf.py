@@ -6,8 +6,11 @@ scalar and the batched execution paths:
 * **hammer** — raw DRAM activation throughput on the ``thinkpad_x230``
   profile: a scalar ``DramModule.hammer`` loop vs one
   ``DramModule.hammer_batch`` call, for a one-location stream and a
-  double-sided (alternating-aggressor) stream.  The acceptance bar for
-  the batched layer is >= 5x on the one-location stream.
+  double-sided (alternating-aggressor) stream — on the default dense
+  (array-backed) disturbance core, plus the same two cases pinned to
+  the dict core for comparison (``*_dict`` labels).  The acceptance bar
+  for the dense core is >= 10M act/s batched one-location with
+  double-sided within 2x of it.
 * **workload** — slices/second of a memory-bound
   :class:`~repro.workloads.base.SliceWorkload` (``hot_touch_repeat`` >
   1), scalar vs the :meth:`Kernel.user_access_run` replay path.
@@ -17,15 +20,22 @@ scalar and the batched execution paths:
 Every scalar/batched pair is run on freshly built machines and
 cross-checked on its simulated observables (clock, activations, flips)
 — a cheap guard; the exhaustive byte-level guarantee lives in
-``tests/perf/test_differential_equivalence.py``.  Results are printed
-and written to ``BENCH_perf.json`` (see README's Performance section).
+``tests/perf/test_differential_equivalence.py`` and the generative
+harness.  Results are printed and written to ``BENCH_perf.json`` (see
+README's Performance section).
+
+``--check`` turns the run into a CI perf-regression gate: each hammer
+case's batched act/s is compared against the committed baseline
+snapshot (``benchmarks/perf_baseline.json``, a ``--quick`` run) and the
+tool exits non-zero if any case regressed by more than 20 %.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import time
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .. import cli_common
 from ..config import machine
@@ -35,6 +45,12 @@ from ..workloads.base import SliceWorkload, WorkloadProfile
 #: Machine profile the microbenchmarks run on (DDR3, no ChipTRR — the
 #: pure disturbance-engine cost, matching the paper's oldest testbed).
 BENCH_MACHINE = "thinkpad_x230"
+
+#: Committed baseline snapshot the ``--check`` gate compares against.
+DEFAULT_BASELINE = "benchmarks/perf_baseline.json"
+
+#: A case fails the gate below this fraction of its baseline act/s.
+REGRESSION_FLOOR = 0.8
 
 
 def _timed(fn: Callable[[], object]) -> float:
@@ -54,10 +70,18 @@ def _dram_observables(dram) -> tuple:
     )
 
 
-def _hammer_case(label: str, items, activations: int) -> Dict[str, object]:
+def _bench_spec(dense: Optional[bool] = None):
+    spec = machine(BENCH_MACHINE)
+    if dense is not None:
+        spec = dataclasses.replace(spec, dense=dense)
+    return spec
+
+
+def _hammer_case(label: str, items, activations: int,
+                 dense: Optional[bool] = None) -> Dict[str, object]:
     """Time one scalar-loop vs one batched replay of ``items``."""
-    scalar_dram = Machine.from_parts(machine(BENCH_MACHINE)).dram
-    batched_dram = Machine.from_parts(machine(BENCH_MACHINE)).dram
+    scalar_dram = Machine.from_parts(_bench_spec(dense)).dram
+    batched_dram = Machine.from_parts(_bench_spec(dense)).dram
 
     def scalar() -> None:
         for paddr, count in items:
@@ -88,10 +112,15 @@ def bench_hammer(quick: bool) -> Dict[str, object]:
     one_loc = dram.mapping.dram_to_phys(0, 30, 0)
     left = dram.mapping.dram_to_phys(0, 29, 0)
     right = dram.mapping.dram_to_phys(0, 31, 0)
+    one_loc_items = [(one_loc, 1)] * n
+    double_items = [(left, 1), (right, 1)] * (n // 2)
     cases = [
-        _hammer_case("one_location", [(one_loc, 1)] * n, n),
-        _hammer_case("double_sided",
-                     [(left, 1), (right, 1)] * (n // 2), n),
+        _hammer_case("one_location", one_loc_items, n, dense=True),
+        _hammer_case("double_sided", double_items, n, dense=True),
+        # Dict-core comparison points (informational; the gate tracks
+        # whichever labels the baseline carries).
+        _hammer_case("one_location_dict", one_loc_items, n, dense=False),
+        _hammer_case("double_sided_dict", double_items, n, dense=False),
     ]
     return {"machine": BENCH_MACHINE, "cases": cases}
 
@@ -165,13 +194,13 @@ def _render(payload: Dict[str, object]) -> str:
     lines = [f"repro-perfbench ({'quick' if payload['quick'] else 'full'})"]
     for case in payload["hammer"]["cases"]:
         lines.append(
-            "  hammer/{label:<13} scalar {scalar_act_per_s:>9,} act/s   "
+            "  hammer/{label:<18} scalar {scalar_act_per_s:>9,} act/s   "
             "batched {batched_act_per_s:>10,} act/s   {speedup:>6}x"
             .format(**case))
     wl = payload["workload"]
     lines.append(
-        "  workload          scalar {scalar_slices_per_s:>9,} sl/s    "
-        "batched {batched_slices_per_s:>10,} sl/s    {speedup:>6}x"
+        "  workload                 scalar {scalar_slices_per_s:>9,} sl/s  "
+        "  batched {batched_slices_per_s:>10,} sl/s    {speedup:>6}x"
         .format(**wl))
     t5 = payload["table5"]
     lines.append(
@@ -179,6 +208,30 @@ def _render(payload: Dict[str, object]) -> str:
         f"in {t5['wall_seconds']} s "
         f"({'all pass' if t5['all_pass'] else 'FAILURES'})")
     return "\n".join(lines)
+
+
+def check_regression(
+    payload: Dict[str, object], baseline: Dict[str, object],
+    floor: float = REGRESSION_FLOOR,
+) -> List[Tuple[str, int, int, bool]]:
+    """Gate rows ``(label, current, required, ok)`` per hammer case.
+
+    A case passes while its batched act/s stays at or above ``floor``
+    (default 80 %) of the committed baseline's.  Only labels present in
+    both payloads are compared, so adding or retiring a case never
+    trips the gate by itself.
+    """
+    current = {case["label"]: case["batched_act_per_s"]
+               for case in payload["hammer"]["cases"]}
+    rows = []
+    for case in baseline["hammer"]["cases"]:
+        label = case["label"]
+        if label not in current:
+            continue
+        required = int(floor * case["batched_act_per_s"])
+        rows.append((label, current[label], required,
+                     current[label] >= required))
+    return rows
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -194,6 +247,15 @@ def main(argv: Optional[list] = None) -> int:
     cli_common.add_out_option(
         parser, default="BENCH_perf.json",
         help_text="output JSON path (default: %(default)s)")
+    cli_common.add_check_option(
+        parser,
+        help_text="gate mode: fail when any hammer case's batched act/s "
+                  f"regresses more than {round((1 - REGRESSION_FLOOR) * 100)}"
+                  " %% against the baseline snapshot")
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE, metavar="PATH",
+        help="baseline BENCH_perf.json snapshot for --check "
+             "(default: %(default)s)")
     args = parser.parse_args(argv)
     payload = run_benchmarks(quick=args.quick)
     print(_render(payload))
@@ -201,7 +263,21 @@ def main(argv: Optional[list] = None) -> int:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
     print(f"[saved to {args.out}]")
-    return cli_common.EXIT_OK
+    if not args.check:
+        return cli_common.EXIT_OK
+    try:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+    except OSError as error:
+        print(f"[check] cannot read baseline {args.baseline}: {error}")
+        return cli_common.EXIT_CHECK_FAILED
+    failed = False
+    for label, got, required, ok in check_regression(payload, baseline):
+        verdict = "ok" if ok else "REGRESSED"
+        print(f"[check] hammer/{label}: {got:,} act/s "
+              f"(floor {required:,}) {verdict}")
+        failed = failed or not ok
+    return cli_common.EXIT_CHECK_FAILED if failed else cli_common.EXIT_OK
 
 
 if __name__ == "__main__":

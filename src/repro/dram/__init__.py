@@ -22,7 +22,14 @@ This package simulates the DRAM the paper's machines hammer:
 from .geometry import DramGeometry
 from .timing import DramTimings
 from .address import AddressMapping, DramAddress, linear_mapping, interleaved_mapping
-from .disturbance import DisturbanceParams, DisturbanceEngine, FlipEvent, VulnerableCell
+from .disturbance import (
+    DisturbanceCore,
+    DisturbanceEngine,
+    DisturbanceParams,
+    FlipEvent,
+    VulnerableCell,
+)
+from .dense import DenseDisturbanceEngine
 from .chiptrr import TrrParams, ChipTrr
 from .bank import BankState, RowBufferPolicy
 from .remap import FoldedRemap, IdentityRemap, RowRemap, build_remap
@@ -36,8 +43,10 @@ __all__ = [
     "DramAddress",
     "linear_mapping",
     "interleaved_mapping",
-    "DisturbanceParams",
+    "DisturbanceCore",
     "DisturbanceEngine",
+    "DenseDisturbanceEngine",
+    "DisturbanceParams",
     "FlipEvent",
     "VulnerableCell",
     "TrrParams",

@@ -70,6 +70,20 @@ class BankState:
             )
         self.hits += count
 
+    def activate_run(self, row: int, count: int, open_page: bool) -> None:
+        """Record ``count`` forced activations ending on ``row``.
+
+        Replay primitive for the batched hammer path: the batch epilogue
+        credits each bank its total activation count and leaves the row
+        buffer holding the bank's last-hammered row (open-page) or
+        precharged (closed-page) — exactly the state ``count`` scalar
+        :meth:`~repro.dram.module.DramModule.hammer` calls leave behind.
+        """
+        if count <= 0:
+            return
+        self.activations += count
+        self.open_row = row if open_page else None
+
     def precharge(self) -> None:
         """Close the row buffer (e.g. at refresh)."""
         self.open_row = None

@@ -1,0 +1,632 @@
+"""Array-backed dense disturbance core (the default accumulator store).
+
+:class:`DenseDisturbanceEngine` replaces the dict-keyed accumulators of
+:class:`~repro.dram.disturbance.DisturbanceEngine` with two flat
+per-bank arrays indexed by row:
+
+* ``array('d')`` — accumulated disturbance units, and
+* ``array('q')`` — the refresh epoch the row was last deposited into
+  (``-1`` = never touched, the equivalent of "no dict bucket").
+
+The lazy auto-refresh semantics are byte-for-byte those of the dict
+core: a row's value is only meaningful when its epoch tag matches the
+current refresh epoch; a deposit into a stale-tagged row first rolls the
+tag and zeroes the value; :meth:`heal` zeroes the value but — exactly
+like the dict core's ``bucket[1] = 0.0`` — never touches the tag, so a
+healed row still reads 0 in every epoch.
+
+On top of the flat store sits :meth:`hammer_periodic`, the closed-form
+kernel for the streams hammer loops actually issue (one-location,
+double-sided, many-sided: a short aggressor cycle repeated thousands of
+times).  Per refresh-epoch segment it classifies each victim row once
+and replays whole cycles at C speed:
+
+* invulnerable non-aggressor rows take one fused add for the whole span
+  (the sanctioned last-ULP relaxation — such rows can never flip);
+* vulnerable non-aggressor rows get the exact sequential float cumsum
+  of their per-cycle deposit pattern (``numpy.cumsum`` when available,
+  ``itertools.accumulate`` otherwise — both bit-identical to the scalar
+  ``+=`` walk) and per-cell crossings located by binary search;
+* aggressor-self rows (healed mid-cycle by their own activation) are
+  simulated exactly for two cycles, after which every later cycle is a
+  bit-identical replica (the post-heal end value is independent of the
+  cycle's carry-in), so its flips are replicated instead of recomputed;
+* cycle fragments at segment edges are replayed item-by-item.
+
+Every flip keeps the scalar stream's exact ``(item, plan-entry, cell)``
+order and its exact integer timestamp, recomputed per flip from the
+item's global index — never incrementally accumulated.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from itertools import accumulate
+from typing import Dict, List, Optional, Tuple
+
+from .disturbance import DisturbanceCore, DisturbanceParams, FlipEvent
+from .geometry import DramGeometry
+from .remap import RowRemap
+
+try:  # pragma: no cover - exercised via both branches in CI matrices
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: Minimum tiled-add count before the numpy cumsum pays for itself.
+_NUMPY_MIN = 192
+
+
+def _exact_cumsum(carry: float, adds: List[float], reps: int):
+    """``[carry, carry+a0, carry+a0+a1, ...]`` over ``adds`` tiled
+    ``reps`` times — bit-identical to a sequential float ``+=`` walk.
+
+    Returns any indexable supporting ``bisect_left``-style search; entry
+    ``i`` is the accumulator value after ``i`` deposits.
+    """
+    total = len(adds) * reps
+    if _np is not None and total >= _NUMPY_MIN:
+        arr = _np.empty(total + 1)
+        arr[0] = carry
+        if len(adds) == 1:
+            arr[1:] = adds[0]
+        else:
+            arr[1:] = _np.tile(_np.asarray(adds), reps)
+        _np.cumsum(arr, out=arr)
+        return arr
+    return list(accumulate(adds * reps, initial=carry))
+
+
+def _first_reaching(cum, threshold: float) -> int:
+    """Index of the first entry ``>= threshold`` (entries non-decreasing)."""
+    if _np is not None and not isinstance(cum, list):
+        return int(_np.searchsorted(cum, threshold, side="left"))
+    return bisect_left(cum, threshold)
+
+
+class DenseDisturbanceEngine(DisturbanceCore):
+    """Disturbance engine over flat per-bank row arrays."""
+
+    supports_periodic = True
+
+    def __init__(self, geometry: DramGeometry, params: DisturbanceParams,
+                 remap: Optional[RowRemap] = None) -> None:
+        super().__init__(geometry, params, remap=remap)
+        banks = geometry.num_banks
+        #: Per-bank accumulated units, lazily allocated on first touch.
+        self._values: List[Optional[array]] = [None] * banks
+        #: Per-bank epoch tags (-1 = never deposited into).
+        self._epochs: List[Optional[array]] = [None] * banks
+
+    def _bank_arrays(self, bank: int) -> Tuple[array, array]:
+        values = self._values[bank]
+        if values is None:
+            rows = self.geometry.rows_per_bank
+            values = array("d", bytes(8 * rows))
+            self._values[bank] = values
+            self._epochs[bank] = array("q", [-1]) * rows
+        return values, self._epochs[bank]
+
+    # ------------------------------------------------------ accumulation
+    def deposit(
+        self, bank: int, row: int, units: float, epoch: int, now_ns: int
+    ) -> List[FlipEvent]:
+        """Add ``units`` of disturbance to (bank, row); return new flips."""
+        if units <= 0:
+            return []
+        if row < 0 or row >= self.geometry.rows_per_bank:
+            return []
+        values, epochs = self._bank_arrays(bank)
+        if epochs[row] != epoch:
+            # Lazy auto-refresh: the window rolled over since this row's
+            # accumulator was last touched, so the charge was restored.
+            epochs[row] = epoch
+            before = 0.0
+        else:
+            before = values[row]
+        after = before + units
+        values[row] = after
+        self.total_deposits += 1
+        flips: List[FlipEvent] = []
+        for cell in self.vulnerable_cells(bank, row):
+            if before < cell.threshold <= after:
+                flips.append(
+                    FlipEvent(
+                        bank=bank,
+                        row=row,
+                        bit_offset=cell.bit_offset,
+                        from_value=cell.from_value,
+                        at_ns=now_ns,
+                    )
+                )
+        self.total_flip_events += len(flips)
+        return flips
+
+    def _fused_add(self, bank: int, row: int, amount: float,
+                   epoch: int) -> None:
+        values, epochs = self._bank_arrays(bank)
+        if epochs[row] != epoch:
+            epochs[row] = epoch
+            values[row] = amount
+        else:
+            values[row] += amount
+
+    def heal(self, bank: int, row: int) -> None:
+        """Refresh (recharge) a row: accumulated disturbance is cleared.
+
+        Zeroes the value but leaves the epoch tag alone, matching the
+        dict core (whose heal never creates or re-tags a bucket).
+        """
+        if not 0 <= bank < len(self._values):
+            return
+        values = self._values[bank]
+        if values is not None and 0 <= row < len(values):
+            values[row] = 0.0
+
+    def accumulated(self, bank: int, row: int, epoch: int) -> float:
+        """Disturbance units accumulated by (bank, row) in ``epoch``."""
+        if not 0 <= bank < len(self._values):
+            return 0.0
+        values = self._values[bank]
+        if values is None or not 0 <= row < len(values):
+            return 0.0
+        if self._epochs[bank][row] != epoch:
+            return 0.0
+        return values[row]
+
+    def vulnerable_accumulated(self, epoch: int) -> Dict[Tuple[int, int], float]:
+        """Nonzero ``epoch`` accumulators of rows that can actually flip.
+
+        See :meth:`DisturbanceEngine.vulnerable_accumulated` — this is
+        the cross-core fingerprint, identical across stores because
+        vulnerable rows always take exact sequential float arithmetic.
+        """
+        result: Dict[Tuple[int, int], float] = {}
+        for bank, values in enumerate(self._values):
+            if values is None:
+                continue
+            epochs = self._epochs[bank]
+            for row, value in enumerate(values):
+                if (value != 0.0 and epochs[row] == epoch
+                        and self.is_vulnerable(bank, row)):
+                    result[(bank, row)] = value
+        return result
+
+    # ---------------------------------------------------- batched kernel
+    def hammer_kernel(self, resolved, *, epoch: int, now_ns: int,
+                      per_act_ns: int, window: int, origin: str,
+                      trr_on, recent):
+        """Dense twin of :meth:`DisturbanceEngine.hammer_kernel`.
+
+        Same contract, same per-item/run structure, same fused-add
+        bookkeeping for invulnerable victims — only the buckets are
+        (values, epochs) array slots instead of dict-held lists.
+        """
+        from itertools import repeat
+
+        trr_enabled = trr_on is not None
+        aggressors = {key for key, _ in resolved}
+        now = now_ns
+        boundary = (epoch + 1) * window
+
+        plans = {}
+        for key in aggressors:
+            bank, row = key
+            values, epochs = self._bank_arrays(bank)
+            exact = []   # (victim, weight, cells, first_threshold)
+            summed = []  # (victim, weight)
+            for victim, weight, cells in self.victim_plan(bank, row):
+                if cells or (bank, victim) in aggressors or trr_enabled:
+                    # Resolve the slot's epoch up front, as the first
+                    # scalar deposit of the batch would.
+                    if epochs[victim] != epoch:
+                        epochs[victim] = epoch
+                        values[victim] = 0.0
+                    first = cells[0].threshold if cells else 0.0
+                    exact.append((victim, weight, cells, first))
+                else:
+                    summed.append((victim, weight))
+            plans[key] = [values, epochs, exact, summed, 0,
+                          len(exact) + len(summed)]
+
+        flips: List[FlipEvent] = []
+        deposits = 0
+        acts = 0
+        bank_totals: Dict[int, int] = {}
+        bank_last: Dict[int, int] = {}
+        recent_append = recent.append
+        recent_extend = recent.extend
+        infinity = float("inf")
+        i = 0
+        n_items = len(resolved)
+        while i < n_items:
+            item = resolved[i]
+            key, count = item
+            step = count * per_act_ns
+            j = i + 1
+            if not trr_enabled and step > 0:
+                while j < n_items and resolved[j] == item:
+                    j += 1
+            bank, row = key
+            plan = plans[key]
+            values, epochs = plan[0], plan[1]
+            if j == i + 1:
+                # Single item (or ChipTRR interleaving): per-item replay.
+                if now >= boundary:
+                    epoch = now // window
+                    boundary = (epoch + 1) * window
+                    for p in plans.values():
+                        p[4] = 0
+                values[row] = 0.0  # own heal (tag untouched)
+                for victim, weight, cells, first in plan[2]:
+                    if epochs[victim] != epoch:
+                        epochs[victim] = epoch
+                        before = 0.0
+                    else:
+                        before = values[victim]
+                    after = before + weight * count
+                    values[victim] = after
+                    if cells and after >= first:
+                        for cell in cells:
+                            if before < cell.threshold <= after:
+                                flips.append(FlipEvent(
+                                    bank=bank,
+                                    row=victim,
+                                    bit_offset=cell.bit_offset,
+                                    from_value=cell.from_value,
+                                    at_ns=now,
+                                ))
+                plan[4] += count
+                deposits += plan[5]
+                if trr_enabled:
+                    trr_on(bank, row, count, epoch)
+                recent_append((bank, row, origin))
+                acts += count
+                now += step
+                bank_totals[bank] = bank_totals.get(bank, 0) + count
+                bank_last[bank] = row
+                i = j
+                continue
+            # Run fast path, as in the dict core: tight per-victim loops
+            # over r boundary-free identical items.
+            remaining = j - i
+            values[row] = 0.0
+            exact = plan[2]
+            per_run_deposits = plan[5]
+            while remaining:
+                if now >= boundary:
+                    epoch = now // window
+                    boundary = (epoch + 1) * window
+                    for p in plans.values():
+                        p[4] = 0
+                r = (boundary - now + step - 1) // step
+                if r > remaining:
+                    r = remaining
+                run_flips = []
+                for e_idx, (victim, weight, cells, first) in (
+                        enumerate(exact)):
+                    if epochs[victim] != epoch:
+                        epochs[victim] = epoch
+                        value = 0.0
+                    else:
+                        value = values[victim]
+                    add = weight * count
+                    if not cells:
+                        values[victim] = value + add * r
+                        continue
+                    at = now
+                    for _ in range(r):
+                        before = value
+                        value += add
+                        if value >= first:
+                            for cell in cells:
+                                if before < cell.threshold <= value:
+                                    run_flips.append((at, e_idx, FlipEvent(
+                                        bank=bank,
+                                        row=victim,
+                                        bit_offset=cell.bit_offset,
+                                        from_value=cell.from_value,
+                                        at_ns=at,
+                                    )))
+                            first = infinity
+                            for cell in cells:
+                                if cell.threshold > value:
+                                    first = cell.threshold
+                                    break
+                        at += step
+                    values[victim] = value
+                if run_flips:
+                    run_flips.sort(key=lambda rf: (rf[0], rf[1]))
+                    flips.extend(rf[2] for rf in run_flips)
+                plan[4] += count * r
+                deposits += per_run_deposits * r
+                recent_extend(repeat((bank, row, origin), r))
+                acts += count * r
+                now += r * step
+                remaining -= r
+            bank_totals[bank] = bank_totals.get(bank, 0) + count * (j - i)
+            bank_last[bank] = row
+            i = j
+
+        # Fused accumulator flush for the invulnerable summed victims.
+        for plan in plans.values():
+            pending = plan[4]
+            if not pending:
+                continue
+            values, epochs = plan[0], plan[1]
+            for victim, weight in plan[3]:
+                if epochs[victim] != epoch:
+                    epochs[victim] = epoch
+                    values[victim] = weight * pending
+                else:
+                    values[victim] += weight * pending
+
+        self.total_deposits += deposits
+        self.total_flip_events += len(flips)
+        return flips, acts, now, bank_totals, bank_last
+
+    # --------------------------------------------------- periodic kernel
+    def hammer_periodic(self, cycle, n_items: int, *, epoch: int,
+                        now_ns: int, per_act_ns: int, window: int,
+                        origin: str, recent):
+        """Closed-form replay of a periodic aggressor stream.
+
+        ``cycle`` is the resolved period — ``((bank, row), count)`` with
+        every count positive — and the full stream is ``cycle`` repeated
+        to ``n_items`` items (the last repetition may be partial).
+        Requires ``per_act_ns > 0`` and no ChipTRR (the module gates
+        this).  Returns the same ``(flips, acts, now_end, bank_totals,
+        bank_last)`` tuple as :meth:`hammer_kernel` and is observably
+        identical to it.
+        """
+        p = len(cycle)
+        prefix = [0] * (p + 1)
+        for s, (_key, count) in enumerate(cycle):
+            prefix[s + 1] = prefix[s] + count
+        cycle_acts = prefix[p]
+
+        # Per-victim schedules: (bank, vrow) -> (adds, heal_positions)
+        # where adds is [(pos, e_idx, add_units, cells)] in deposit order.
+        sched: Dict[Tuple[int, int], Tuple[list, list]] = {}
+        plan_sizes = []
+        for s, ((bank, row), count) in enumerate(cycle):
+            self._bank_arrays(bank)
+            rec = sched.get((bank, row))
+            if rec is None:
+                rec = sched[(bank, row)] = ([], [])
+            rec[1].append(s)
+            plan = self.victim_plan(bank, row)
+            plan_sizes.append(len(plan))
+            for e_idx, (victim, weight, cells) in enumerate(plan):
+                vkey = (bank, victim)
+                vrec = sched.get(vkey)
+                if vrec is None:
+                    vrec = sched[vkey] = ([], [])
+                vrec[0].append((s, e_idx, weight * count, cells))
+
+        full_cycles, rem = divmod(n_items, p)
+        total_acts = full_cycles * cycle_acts + prefix[rem]
+
+        def item_time(j: int) -> int:
+            q, s = divmod(j, p)
+            return now_ns + (q * cycle_acts + prefix[s]) * per_act_ns
+
+        # keyed flips: (item_index, e_idx, cell_idx, FlipEvent)
+        out: list = []
+        j = 0
+        while j < n_items:
+            seg_epoch = item_time(j) // window
+            boundary = (seg_epoch + 1) * window
+            if item_time(n_items - 1) < boundary:
+                j_end = n_items
+            else:
+                lo, hi = j + 1, n_items - 1
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if item_time(mid) >= boundary:
+                        hi = mid
+                    else:
+                        lo = mid + 1
+                j_end = lo
+            self._periodic_segment(cycle, sched, j, j_end, seg_epoch,
+                                   now_ns, per_act_ns, prefix,
+                                   cycle_acts, out)
+            j = j_end
+
+        out.sort(key=lambda rec: (rec[0], rec[1], rec[2]))
+        flips = [rec[3] for rec in out]
+
+        # Deposit count is a pure function of the stream shape: one
+        # deposit per victim-plan entry per item, epochs and flips aside.
+        cycle_deposits = sum(plan_sizes)
+        self.total_deposits += (full_cycles * cycle_deposits
+                                + sum(plan_sizes[:rem]))
+        self.total_flip_events += len(flips)
+
+        bank_totals: Dict[int, int] = {}
+        for s, ((bank, _row), count) in enumerate(cycle):
+            per_cycle = full_cycles + (1 if s < rem else 0)
+            if per_cycle:
+                bank_totals[bank] = (bank_totals.get(bank, 0)
+                                     + count * per_cycle)
+        bank_last: Dict[int, int] = {}
+        for back in range(1, min(p, n_items) + 1):
+            bank, row = cycle[(n_items - back) % p][0]
+            if bank not in bank_last:
+                bank_last[bank] = row
+
+        tail = min(n_items, getattr(recent, "maxlen", None) or n_items)
+        tuples = [(bank, row, origin) for (bank, row), _count in cycle]
+        recent.extend(tuples[j % p] for j in range(n_items - tail, n_items))
+
+        now_end = now_ns + total_acts * per_act_ns
+        return flips, total_acts, now_end, bank_totals, bank_last
+
+    def _periodic_segment(self, cycle, sched, j_start: int, j_end: int,
+                          epoch: int, now_ns: int, per_act_ns: int,
+                          prefix, cycle_acts: int, out: list) -> None:
+        """Replay items ``[j_start, j_end)`` — all in ``epoch``."""
+        p = len(cycle)
+        head_end = -(-j_start // p) * p  # first whole-cycle start
+        if head_end > j_end:
+            head_end = j_end
+        span_cycles = (j_end - head_end) // p
+        if span_cycles < 2:
+            # Too short to amortise: plain per-item replay.
+            self._replay_items(cycle, j_start, j_end, epoch, now_ns,
+                               per_act_ns, prefix, cycle_acts, out)
+            return
+        tail_start = head_end + span_cycles * p
+        self._replay_items(cycle, j_start, head_end, epoch, now_ns,
+                           per_act_ns, prefix, cycle_acts, out)
+        self._replay_span(cycle, sched, head_end // p, span_cycles, epoch,
+                          now_ns, per_act_ns, prefix, cycle_acts, out)
+        self._replay_items(cycle, tail_start, j_end, epoch, now_ns,
+                           per_act_ns, prefix, cycle_acts, out)
+
+    def _replay_items(self, cycle, j_start: int, j_end: int, epoch: int,
+                      now_ns: int, per_act_ns: int, prefix,
+                      cycle_acts: int, out: list) -> None:
+        """Exact item-by-item replay (cycle fragments at segment edges)."""
+        p = len(cycle)
+        for j in range(j_start, j_end):
+            q, s = divmod(j, p)
+            (bank, row), count = cycle[s]
+            values, epochs = self._bank_arrays(bank)
+            values[row] = 0.0  # own heal
+            at = now_ns + (q * cycle_acts + prefix[s]) * per_act_ns
+            for e_idx, (victim, weight, cells) in enumerate(
+                    self.victim_plan(bank, row)):
+                if epochs[victim] != epoch:
+                    epochs[victim] = epoch
+                    before = 0.0
+                else:
+                    before = values[victim]
+                after = before + weight * count
+                values[victim] = after
+                if cells and after >= cells[0].threshold:
+                    for c_idx, cell in enumerate(cells):
+                        if before < cell.threshold <= after:
+                            out.append((j, e_idx, c_idx, FlipEvent(
+                                bank=bank,
+                                row=victim,
+                                bit_offset=cell.bit_offset,
+                                from_value=cell.from_value,
+                                at_ns=at,
+                            )))
+
+    def _replay_span(self, cycle, sched, first_cycle: int, reps: int,
+                     epoch: int, now_ns: int, per_act_ns: int, prefix,
+                     cycle_acts: int, out: list) -> None:
+        """Vectorized replay of ``reps`` whole cycles in one epoch."""
+        p = len(cycle)
+        for (bank, vrow), (adds, heals) in sched.items():
+            values, epochs = self._bank_arrays(bank)
+            if heals:
+                if not adds:
+                    # Heal-only row: idempotent zero, tag untouched.
+                    values[vrow] = 0.0
+                    continue
+                self._replay_cyclic(bank, vrow, adds, heals, first_cycle,
+                                    reps, epoch, now_ns, per_act_ns,
+                                    prefix, cycle_acts, p, out)
+                continue
+            if epochs[vrow] != epoch:
+                epochs[vrow] = epoch
+                carry = 0.0
+            else:
+                carry = values[vrow]
+            cells = adds[0][3]
+            if not cells:
+                # Invulnerable victim: fused add (sanctioned relaxation).
+                values[vrow] = carry + sum(a for _s, _e, a, _c in adds) * reps
+                continue
+            # Vulnerable victim, no mid-cycle heal: the accumulator is a
+            # strict cumsum of the tiled per-cycle deposit pattern.
+            k = len(adds)
+            cum = _exact_cumsum(carry, [a for _s, _e, a, _c in adds], reps)
+            end_value = cum[len(cum) - 1]
+            for c_idx, cell in enumerate(cells):
+                threshold = cell.threshold
+                if not carry < threshold <= end_value:
+                    continue
+                idx = _first_reaching(cum, threshold) - 1  # deposit index
+                m, r = divmod(idx, k)
+                s, e_idx = adds[r][0], adds[r][1]
+                cyc = first_cycle + m
+                out.append((cyc * p + s, e_idx, c_idx, FlipEvent(
+                    bank=bank,
+                    row=vrow,
+                    bit_offset=cell.bit_offset,
+                    from_value=cell.from_value,
+                    at_ns=now_ns + (cyc * cycle_acts + prefix[s])
+                    * per_act_ns,
+                )))
+            values[vrow] = float(end_value)
+
+    def _replay_cyclic(self, bank: int, vrow: int, adds, heals,
+                       first_cycle: int, reps: int, epoch: int,
+                       now_ns: int, per_act_ns: int, prefix,
+                       cycle_acts: int, p: int, out: list) -> None:
+        """Aggressor-self victim: healed by its own activation(s) each
+        cycle, possibly fed by other aggressors.
+
+        The cycle's end value is the post-heal tail sum — independent of
+        its carry-in — so after simulating cycles 1 and 2 exactly, every
+        later cycle is a bit-identical replica of cycle 2 and only its
+        flips (if any) need re-emitting at shifted items/timestamps.
+        """
+        values, epochs = self._bank_arrays(bank)
+        # Per-cycle op list: heals (before that item's deposits) merged
+        # with adds in scalar order.
+        ops = sorted(
+            [(s, -1, 0.0, None) for s in heals] + list(adds),
+            key=lambda op: (op[0], op[1]))
+        if epochs[vrow] != epoch:
+            epochs[vrow] = epoch
+            value = 0.0
+        else:
+            value = values[vrow]
+
+        def run_cycle(value: float):
+            fired = []  # (pos, e_idx, c_idx, cell)
+            for s, e_idx, add, cells in ops:
+                if e_idx < 0:
+                    value = 0.0
+                    continue
+                before = value
+                value += add
+                if cells and value >= cells[0].threshold:
+                    for c_idx, cell in enumerate(cells):
+                        if before < cell.threshold <= value:
+                            fired.append((s, e_idx, c_idx, cell))
+            return value, fired
+
+        def emit(cyc: int, fired) -> None:
+            for s, e_idx, c_idx, cell in fired:
+                out.append((cyc * p + s, e_idx, c_idx, FlipEvent(
+                    bank=bank,
+                    row=vrow,
+                    bit_offset=cell.bit_offset,
+                    from_value=cell.from_value,
+                    at_ns=now_ns + (cyc * cycle_acts + prefix[s])
+                    * per_act_ns,
+                )))
+
+        value, fired = run_cycle(value)
+        emit(first_cycle, fired)
+        if reps >= 2:
+            steady = value
+            value, fired = run_cycle(value)
+            emit(first_cycle + 1, fired)
+            if value == steady:
+                # Replicate: identical carry-in -> identical cycle.
+                if fired:
+                    for m in range(2, reps):
+                        emit(first_cycle + m, fired)
+            else:  # pragma: no cover - defensive; heals pin the end value
+                for m in range(2, reps):
+                    value, fired = run_cycle(value)
+                    emit(first_cycle + m, fired)
+        values[vrow] = value

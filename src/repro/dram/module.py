@@ -24,18 +24,44 @@ Two access planes are provided:
 
 from __future__ import annotations
 
-from itertools import repeat
 from typing import Dict, List, Optional, Tuple
 
+from ..batching import dense_enabled
 from ..clock import SimClock
 from ..errors import DramError
 from .address import AddressMapping
 from .bank import BankState, RowBufferPolicy
 from .chiptrr import ChipTrr, TrrParams
+from .dense import DenseDisturbanceEngine
 from .disturbance import DisturbanceEngine, DisturbanceParams, FlipEvent
 from .geometry import DramGeometry, LINE_BYTES
 from .remap import IdentityRemap, RowRemap
 from .timing import DramTimings
+
+
+def _detect_period(items) -> Optional[int]:
+    """Smallest period ``p <= 64`` such that ``items`` repeats its first
+    ``p`` entries (the last repetition may be partial) — else ``None``.
+
+    Runs on the *raw* ``(paddr, count)`` items before any paddr
+    resolution: hammer kits build their streams by list multiplication,
+    so the repeated tuples are the *same objects* and both the candidate
+    probe and the whole-stream shift-compare run at C speed on identity
+    checks inside ``list.__eq__``.
+    """
+    n = len(items)
+    first = items[0]
+    candidates = []
+    limit = min(64, n - 1)
+    for k in range(1, limit + 1):
+        if items[k] == first:
+            candidates.append(k)
+            if len(candidates) == 3:
+                break
+    for p in candidates:
+        if items[p:] == items[:-p]:
+            return p
+    return None
 
 
 class DramModule:
@@ -50,6 +76,7 @@ class DramModule:
         clock: SimClock,
         row_policy: RowBufferPolicy = RowBufferPolicy.OPEN_PAGE,
         remap: Optional[RowRemap] = None,
+        dense: Optional[bool] = None,
     ) -> None:
         self.geometry: DramGeometry = mapping.geometry
         self.mapping = mapping
@@ -61,8 +88,15 @@ class DramModule:
         #: for the disturbance engine and the TRR, and the offline
         #: domain knowledge SoftTRR consumes.
         self.remap = remap or IdentityRemap(self.geometry.rows_per_bank)
-        self.engine = DisturbanceEngine(self.geometry, disturbance,
-                                        remap=self.remap)
+        # Accumulator store: the array-backed dense core by default, the
+        # original dict core when dense is False (or REPRO_DENSE=0).
+        # Both are bit-identical in every observable; the dict core is
+        # kept as the differential baseline for the generative harness.
+        if dense is None:
+            dense = dense_enabled()
+        engine_cls = DenseDisturbanceEngine if dense else DisturbanceEngine
+        self.engine = engine_cls(self.geometry, disturbance,
+                                 remap=self.remap)
         self.trr = ChipTrr(trr, self._heal_row, remap=self.remap)
         self._banks: List[BankState] = [BankState() for _ in range(self.geometry.num_banks)]
         self._rows: Dict[Tuple[int, int], bytearray] = {}
@@ -153,237 +187,100 @@ class DramModule:
         — identical DRAM bytes, identical ``FlipEvent`` stream (including
         ``at_ns``), identical TRR/bank/engine counters and identical
         simulated time, as enforced by the differential equivalence
-        suite.  The speed comes from aggregating per-(bank, row) work:
+        suite and the generative harness.  Two engine kernels do the
+        aggregation (the module owns resolution and the epilogue):
 
-        * victims that can actually flip — and every aggressor row, and
-          every victim when ChipTRR is enabled (its mid-batch refreshes
-          interleave with deposits) — are replayed deposit-by-deposit,
-          preserving flip ordering via per-cell threshold crossings;
-        * the remaining victims are invulnerable bookkeeping-only rows:
-          their accumulators take one fused ``weight * total_count`` add
-          per aggressor at the end of the batch (the sanctioned
-          last-ULP relaxation, see DESIGN.md), and pending sums are
-          dropped at refresh-epoch rollovers exactly as the scalar
-          path's lazy heal discards them.
+        * the generic kernel (``engine.hammer_kernel``) replays
+          deposit-by-deposit any victim that can actually flip — and
+          every aggressor row, and every victim when ChipTRR is enabled
+          (its mid-batch refreshes interleave with deposits) — while
+          invulnerable bookkeeping-only rows take one fused
+          ``weight * total_count`` add per aggressor at the end of the
+          batch (the sanctioned last-ULP relaxation, see DESIGN.md),
+          with pending sums dropped at refresh-epoch rollovers exactly
+          as the scalar path's lazy heal discards them;
+        * when the raw item stream is periodic (the shape every hammer
+          loop emits) and the engine supports it, the closed-form
+          periodic kernel (``engine.hammer_periodic``) replays whole
+          aggressor cycles per refresh-epoch segment instead of per
+          item.
         """
+        if not isinstance(items, list):
+            items = list(items)
+        if not items:
+            return
         timings = self.timings
         window = timings.refresh_window_ns
         per_act_ns = timings.conflict_latency_ns + extra_ns
         engine = self.engine
         trr_enabled = self.trr.params.enabled
-        trr_on = self.trr.on_activate
-        open_page = self.row_policy is RowBufferPolicy.OPEN_PAGE
-        recent_append = self.recent_activations.append
-
-        resolved = []  # ((bank, row), count) with count > 0
         paddr_cache: Dict[int, Tuple[int, int]] = {}
-        for paddr, count in items:
-            if count <= 0:
-                continue
-            key = paddr_cache.get(paddr)
-            if key is None:
-                dram = self.mapping.phys_to_dram(paddr)
-                key = (dram.bank, dram.row)
-                paddr_cache[paddr] = key
-            resolved.append((key, count))
-        if not resolved:
-            return
+
+        # Periodic fast path: detected on the raw items (cheap identity
+        # compares), so only the cycle's paddrs need resolving and no
+        # per-item Python loop runs at all.
+        cycle = None
+        n_items = len(items)
+        if (engine.supports_periodic and not trr_enabled
+                and per_act_ns > 0 and n_items >= 8):
+            p = _detect_period(items)
+            if p is not None and all(c > 0 for _paddr, c in items[:p]):
+                cycle = []
+                for paddr, count in items[:p]:
+                    key = paddr_cache.get(paddr)
+                    if key is None:
+                        dram = self.mapping.phys_to_dram(paddr)
+                        key = (dram.bank, dram.row)
+                        paddr_cache[paddr] = key
+                    cycle.append((key, count))
+
+        if cycle is None:
+            resolved = []  # ((bank, row), count) with count > 0
+            for paddr, count in items:
+                if count <= 0:
+                    continue
+                key = paddr_cache.get(paddr)
+                if key is None:
+                    dram = self.mapping.phys_to_dram(paddr)
+                    key = (dram.bank, dram.row)
+                    paddr_cache[paddr] = key
+                resolved.append((key, count))
+            if not resolved:
+                return
+
         trace = self.trace
         span_start = (trace.span_begin("dram.hammer_batch")
                       if trace is not None else 0)
+        start_ns = self.clock.now_ns
+        epoch = timings.refresh_epoch(start_ns)
+        deposits_before = engine.total_deposits
 
-        aggressors = {key for key, _ in resolved}
-        acc = engine._acc
-        now = self.clock.now_ns
-        start_ns = now
-        epoch = timings.refresh_epoch(now)
-        boundary = (epoch + 1) * window
+        if cycle is not None:
+            flips, acts, now_end, bank_totals, bank_last = (
+                engine.hammer_periodic(
+                    cycle, n_items,
+                    epoch=epoch, now_ns=start_ns, per_act_ns=per_act_ns,
+                    window=window, origin=origin,
+                    recent=self.recent_activations))
+        else:
+            flips, acts, now_end, bank_totals, bank_last = (
+                engine.hammer_kernel(
+                    resolved,
+                    epoch=epoch, now_ns=start_ns, per_act_ns=per_act_ns,
+                    window=window, origin=origin,
+                    trr_on=self.trr.on_activate if trr_enabled else None,
+                    recent=self.recent_activations))
 
-        # Per-aggressor plans.  Exact victims get their bucket resolved
-        # up front (the first scalar deposit would create it with the
-        # same epoch anyway); summed victims are flushed at the end.
-        plans = {}
-        for key in aggressors:
-            bank, row = key
-            exact = []   # (bucket, weight, cells, first_threshold, victim)
-            summed = []  # ((bank, victim), weight)
-            for victim, weight, cells in engine.victim_plan(bank, row):
-                if cells or (bank, victim) in aggressors or trr_enabled:
-                    bucket = engine._bucket(bank, victim, epoch)
-                    first = cells[0].threshold if cells else 0.0
-                    exact.append((bucket, weight, cells, first, victim))
-                else:
-                    summed.append(((bank, victim), weight))
-            plans[key] = [None, exact, summed, 0, len(exact) + len(summed)]
-        for key in aggressors:
-            # Own-row heal target: only a bucket that exists by now can
-            # ever be healed during the batch (heal never creates one).
-            plans[key][0] = acc.get(key)
-
-        flips: List[FlipEvent] = []
-        deposits = 0
-        acts = 0
-        bank_totals: Dict[int, int] = {}
-        bank_last: Dict[int, int] = {}
-        recent_extend = self.recent_activations.extend
-        infinity = float("inf")
-        i = 0
-        n_items = len(resolved)
-        while i < n_items:
-            item = resolved[i]
-            key, count = item
-            step = count * per_act_ns
-            j = i + 1
-            if not trr_enabled and step > 0:
-                # Runs of identical items (the hammer-loop shape) replay
-                # through tight per-victim accumulator loops below.
-                while j < n_items and resolved[j] == item:
-                    j += 1
-            bank, row = key
-            plan = plans[key]
-            if j == i + 1:
-                # Single item (or ChipTRR interleaving): per-item replay.
-                if now >= boundary:
-                    epoch = timings.refresh_epoch(now)
-                    boundary = (epoch + 1) * window
-                    for p in plans.values():
-                        # The scalar path's lazy heal would discard these
-                        # old-epoch sums at the victims' next touch.
-                        p[3] = 0
-                own = plan[0]
-                if own is not None:
-                    own[1] = 0.0
-                for bucket, weight, cells, first, victim in plan[1]:
-                    if bucket[0] != epoch:
-                        bucket[0] = epoch
-                        bucket[1] = 0.0
-                    before = bucket[1]
-                    after = before + weight * count
-                    bucket[1] = after
-                    if cells and after >= first:
-                        for cell in cells:
-                            if before < cell.threshold <= after:
-                                flips.append(FlipEvent(
-                                    bank=bank,
-                                    row=victim,
-                                    bit_offset=cell.bit_offset,
-                                    from_value=cell.from_value,
-                                    at_ns=now,
-                                ))
-                plan[3] += count
-                deposits += plan[4]
-                if trr_enabled:
-                    trr_on(bank, row, count, epoch)
-                recent_append((bank, row, origin))
-                acts += count
-                now += step
-                bank_totals[bank] = bank_totals.get(bank, 0) + count
-                bank_last[bank] = row
-                i = j
-                continue
-            # Run fast path: r identical activations of one aggressor in
-            # a row.  No other aggressor activates inside the run, so no
-            # heal interleaves: each victim accumulator takes the same
-            # sequential adds as the scalar loop (walked in a tight loop
-            # per victim), the aggressor's own per-item heal collapses to
-            # one idempotent heal, and cell-less victims — invulnerable
-            # rows — take the sanctioned fused add.  Flips are re-sorted
-            # into scalar (item-major, victim-minor) order by their
-            # strictly increasing timestamps.
-            remaining = j - i
-            own = plan[0]
-            if own is not None:
-                own[1] = 0.0
-            exact = plan[1]
-            per_run_deposits = plan[4]
-            while remaining:
-                if now >= boundary:
-                    epoch = timings.refresh_epoch(now)
-                    boundary = (epoch + 1) * window
-                    for p in plans.values():
-                        p[3] = 0
-                # Items whose pre-item rollover check stays quiet: those
-                # with now + k*step < boundary.
-                r = (boundary - now + step - 1) // step
-                if r > remaining:
-                    r = remaining
-                run_flips = []
-                for e_idx, (bucket, weight, cells, first, victim) in (
-                        enumerate(exact)):
-                    if bucket[0] != epoch:
-                        bucket[0] = epoch
-                        bucket[1] = 0.0
-                    add = weight * count
-                    value = bucket[1]
-                    if not cells:
-                        value += add * r
-                        bucket[1] = value
-                        continue
-                    at = now
-                    for _ in range(r):
-                        before = value
-                        value += add
-                        if value >= first:
-                            for cell in cells:
-                                if before < cell.threshold <= value:
-                                    run_flips.append((at, e_idx, FlipEvent(
-                                        bank=bank,
-                                        row=victim,
-                                        bit_offset=cell.bit_offset,
-                                        from_value=cell.from_value,
-                                        at_ns=at,
-                                    )))
-                            # Cells at or below the accumulator can never
-                            # re-fire this epoch; track the next one up.
-                            first = infinity
-                            for cell in cells:
-                                if cell.threshold > value:
-                                    first = cell.threshold
-                                    break
-                        at += step
-                    bucket[1] = value
-                if run_flips:
-                    run_flips.sort(key=lambda rf: (rf[0], rf[1]))
-                    flips.extend(rf[2] for rf in run_flips)
-                plan[3] += count * r
-                deposits += per_run_deposits * r
-                recent_extend(repeat((bank, row, origin), r))
-                acts += count * r
-                now += r * step
-                remaining -= r
-            bank_totals[bank] = bank_totals.get(bank, 0) + count * (j - i)
-            bank_last[bank] = row
-            i = j
-
-        # Fused accumulator flush for the invulnerable summed victims.
-        for plan in plans.values():
-            pending = plan[3]
-            if not pending:
-                continue
-            for vkey, weight in plan[2]:
-                bucket = acc.get(vkey)
-                if bucket is None:
-                    acc[vkey] = [epoch, weight * pending]
-                elif bucket[0] != epoch:
-                    bucket[0] = epoch
-                    bucket[1] = weight * pending
-                else:
-                    bucket[1] += weight * pending
-
-        engine.total_deposits += deposits
-        engine.total_flip_events += len(flips)
         self._apply_flips(flips)
         self.total_activations += acts
-
+        open_page = self.row_policy is RowBufferPolicy.OPEN_PAGE
         for bank, total in bank_totals.items():
-            state = self._banks[bank]
-            state.activations += total
-            state.open_row = bank_last[bank] if open_page else None
-
-        self.clock.advance(now - start_ns)
+            self._banks[bank].activate_run(bank_last[bank], total, open_page)
+        self.clock.advance(now_end - start_ns)
         if trace is not None:
             trace.emit("dram.activate", count=acts, origin=origin, batched=1)
-            trace.emit("dram.deposit", count=deposits)
+            trace.emit("dram.deposit",
+                       count=engine.total_deposits - deposits_before)
             trace.span_end("dram.hammer_batch", span_start)
 
     def access_batch(self, paddrs) -> None:

@@ -68,6 +68,10 @@ class MachineConfig:
     sanitize: bool = False
     strict_sanitizers: bool = False
     batch: Optional[bool] = None
+    #: Disturbance accumulator store: ``True`` pins the array-backed
+    #: dense core, ``False`` the dict core, ``None`` (default) consults
+    #: the ``REPRO_DENSE`` environment knob at DRAM construction.
+    dense: Optional[bool] = None
     #: Override the machine profile's seed (None = profile default).
     seed: Optional[int] = None
     #: Deterministic fault plan installed at assembly (``repro.faults``).
@@ -113,9 +117,11 @@ class MachineConfig:
         else:
             factory = None
         kwargs = {} if self.seed is None else {"seed": self.seed}
-        if factory is not None:
-            return factory(**kwargs)
-        return machine_spec(self.machine, **kwargs)
+        spec = (factory(**kwargs) if factory is not None
+                else machine_spec(self.machine, **kwargs))
+        if self.dense is not None:
+            spec = replace(spec, dense=self.dense)
+        return spec
 
     def build_defense(self):
         """Fresh defense instance for this config."""

@@ -41,12 +41,10 @@ def strict(spec):
 def dram_fingerprint(dram):
     """Every DRAM-level observable the equivalence claim covers."""
     engine = dram.engine
-    epoch = dram._epoch()
-    vulnerable_acc = {
-        key: engine.accumulated(key[0], key[1], epoch)
-        for key in sorted(engine._acc)
-        if engine.is_vulnerable(*key)
-    }
+    # The canonical cross-core fingerprint: nonzero current-epoch
+    # accumulators of vulnerable rows, identical across the dict and
+    # dense stores and across scalar/batched/periodic replay.
+    vulnerable_acc = engine.vulnerable_accumulated(dram._epoch())
     return {
         "rows": {key: bytes(data) for key, data in dram._rows.items()},
         "flip_log": list(dram.flip_log),
