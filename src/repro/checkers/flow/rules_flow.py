@@ -12,6 +12,10 @@ test suite checks dynamically (DESIGN.md §9 maps them one-to-one):
   uninstalls, or be cleared by a registered class's ``uninstall``.
 * RPR012 — sweep picklability: worker-pool callables must be top-level
   functions that do not read globals mutated outside module init.
+* RPR013 — tracker layering: ``Tracker`` subclasses observe through the
+  ``ActivationFeed`` and actuate through queued refreshes only; calling
+  into (or constructing) ``DramModule``/``BankState`` from tracker code
+  collapses the observation/policy/actuation layering.
 
 Rules subclass :class:`FlowRule` and register with
 ``@register_rule(kind="flow")`` — the same registry the shallow rules
@@ -38,6 +42,7 @@ __all__ = [
     "RngProvenanceRule",
     "SnapshotSafetyRule",
     "SweepPicklabilityRule",
+    "TrackerLayeringRule",
     "flow_rules",
     "run_flow_rules",
 ]
@@ -291,6 +296,91 @@ class SweepPicklabilityRule(FlowRule):
                     f"init ({', '.join(captured)}); worker processes "
                     "would see a stale copy")
         return None
+
+
+@register_rule(kind="flow")
+class TrackerLayeringRule(FlowRule):
+    """RPR013: trackers see DRAM only through the activation feed."""
+
+    rule_id = "RPR013"
+    description = ("Tracker subclasses must not call into or construct "
+                   "DramModule/BankState; policy code observes via the "
+                   "ActivationFeed and actuates via queued refreshes only")
+    allowed_paths = ("tests/",)
+    #: Class tails a tracker must never reach (the substrate the feed
+    #: and actuator encapsulate).
+    forbidden_tails: Tuple[str, ...] = ("DramModule", "BankState")
+
+    def check_program(self, program: Program) -> Iterable[Finding]:
+        tracker_classes = self._tracker_classes(program)
+        if not tracker_classes:
+            return []
+        findings: List[Finding] = []
+        for facts in program.facts.values():
+            if self.exempt(facts.fn.rel_path):
+                continue
+            if facts.fn.cls not in tracker_classes:
+                continue
+            line = facts.fn.node.lineno
+            col = facts.fn.node.col_offset
+            for qname in sorted(facts.calls):
+                owner = self._owning_class_tail(program, qname)
+                if owner in self.forbidden_tails:
+                    findings.append(self.finding(
+                        facts, line, col,
+                        f"tracker method calls {qname} ({owner} internals);"
+                        " trackers observe through the ActivationFeed and "
+                        "actuate through queue_refresh only"))
+            for cls_qname in sorted(facts.constructs):
+                if cls_qname.rsplit(".", 1)[-1] in self.forbidden_tails:
+                    findings.append(self.finding(
+                        facts, line, col,
+                        f"tracker method constructs {cls_qname}; the DRAM "
+                        "substrate belongs to the observation layer, not "
+                        "the tracking policy"))
+        return findings
+
+    def _tracker_classes(self, program: Program) -> Set[str]:
+        """Qnames of every class that (transitively) subclasses Tracker."""
+        from .symbols import ClassInfo
+
+        table = program.table
+        verdicts: dict = {}
+
+        def is_tracker(cls_info, seen: Set[str]) -> bool:
+            if cls_info.qname in verdicts:
+                return verdicts[cls_info.qname]
+            if cls_info.qname in seen:
+                return False
+            seen.add(cls_info.qname)
+            result = cls_info.name == "Tracker"
+            if not result:
+                for base in cls_info.bases:
+                    if base.rsplit(".", 1)[-1] == "Tracker":
+                        result = True
+                        break
+                    resolved = table.resolve(cls_info.module, base)
+                    if isinstance(resolved, ClassInfo) and \
+                            is_tracker(resolved, seen):
+                        result = True
+                        break
+            verdicts[cls_info.qname] = result
+            return result
+
+        out: Set[str] = set()
+        for module in table.modules.values():
+            for cls_info in module.classes.values():
+                if is_tracker(cls_info, set()) and \
+                        cls_info.name != "Tracker":
+                    out.add(cls_info.qname)
+        return out
+
+    @staticmethod
+    def _owning_class_tail(program: Program, qname: str) -> Optional[str]:
+        info = program.table.function(qname)
+        if info is None or info.cls is None:
+            return None
+        return info.cls.rsplit(".", 1)[-1]
 
 
 def flow_rules() -> Tuple[FlowRule, ...]:

@@ -15,24 +15,50 @@
   attack).  Does nothing for page tables.
 * :mod:`repro.defenses.alis`   — ALIS [47]: DMA-buffer isolation with
   guard rows (kills CATTmew structurally, nothing else).
-* :mod:`repro.defenses.base`   — the common interface and the
-  ``boot_kernel`` helper the security benches use.
+* :mod:`repro.defenses.trackers` — the pluggable tracker zoo (ChipTRR,
+  PARA, Misra-Gries/Graphene, PTMP, DAPPER) riding the DRAM module's
+  activation feed.
+* :mod:`repro.defenses.base`   — the common interface, the
+  ``@register_defense`` registry and the ``boot_kernel`` helper the
+  security benches use.
 """
 
-from .base import Defense, NoDefense, SoftTrrDefense, boot_kernel, DEFENSES
+from .base import (
+    DEFENSES,
+    Defense,
+    DefenseRegistry,
+    NoDefense,
+    SoftTrrDefense,
+    boot_kernel,
+    register_defense,
+)
 from .catt import CattDefense, RegionPolicy
 from .cta import CtaDefense
 from .zebram import ZebramDefense, StripedPolicy
 from .anvil import AnvilDefense, AnvilModule
 from .riprh import RipRhDefense, RipRhPolicy
 from .alis import AlisDefense
+from .trackers import (
+    ChipTrrDefense,
+    DapperDefense,
+    MisraGriesDefense,
+    ParaDefense,
+    PtmpDefense,
+)
 
 __all__ = [
     "Defense",
+    "DefenseRegistry",
     "NoDefense",
     "SoftTrrDefense",
     "boot_kernel",
+    "register_defense",
     "DEFENSES",
+    "ChipTrrDefense",
+    "ParaDefense",
+    "MisraGriesDefense",
+    "PtmpDefense",
+    "DapperDefense",
     "CattDefense",
     "RegionPolicy",
     "CtaDefense",

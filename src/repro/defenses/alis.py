@@ -22,13 +22,14 @@ from typing import Optional
 
 from ..kernel.buddy import BuddyAllocator
 from ..kernel.physmem import FrameUse
-from .base import Defense
+from .base import Defense, register_defense
 from .catt import RegionPolicy, _guard_frames
 
 #: Fraction of managed frames reserved for DMA buffers.
 DMA_FRACTION = 0.15
 
 
+@register_defense
 class AlisDefense(Defense):
     """ALIS as a bootable defense configuration."""
 

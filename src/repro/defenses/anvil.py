@@ -22,7 +22,7 @@ from collections import Counter
 from typing import Optional
 
 from ..clock import NS_PER_MS
-from .base import Defense
+from .base import Defense, register_defense
 
 #: Miss-rate trip point per observation interval.
 DEFAULT_MISS_THRESHOLD = 2_000
@@ -110,6 +110,7 @@ class AnvilModule:
         return hot * 2 * REFRESH_DISTANCE
 
 
+@register_defense
 class AnvilDefense(Defense):
     """ANVIL as a bootable defense configuration."""
 

@@ -8,11 +8,18 @@ A defense can contribute two things:
 
 ``boot_kernel(spec, defense)`` builds a machine with both applied, which
 is what the security benches iterate over.
+
+Defenses self-register by decorating their class with
+:func:`register_defense`; ``DEFENSES`` is the resulting name -> factory
+catalogue, loaded lazily so importing this module never drags in every
+defense (or trips an import cycle).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+import importlib
+from collections.abc import Mapping
+from typing import Callable, Dict, Iterator, Optional
 
 from ..config import MachineSpec
 from ..core.profile import SoftTrrParams
@@ -39,6 +46,89 @@ class Defense:
         return None
 
 
+#: Modules that define ``@register_defense``-decorated classes.  The
+#: registry imports these on first lookup, so nothing pays the import
+#: cost (or risks a cycle) until a defense is actually requested.
+_DEFENSE_MODULES = (
+    "repro.defenses.alis",
+    "repro.defenses.anvil",
+    "repro.defenses.catt",
+    "repro.defenses.cta",
+    "repro.defenses.riprh",
+    "repro.defenses.zebram",
+    "repro.defenses.trackers.chiptrr",
+    "repro.defenses.trackers.para",
+    "repro.defenses.trackers.misra_gries",
+    "repro.defenses.trackers.ptmp",
+    "repro.defenses.trackers.dapper",
+)
+
+
+class DefenseRegistry(Mapping):
+    """Name -> Defense factory, populated by :func:`register_defense`.
+
+    A read-only mapping from the outside; defense modules add themselves
+    by decorating their :class:`Defense` subclass, exactly like lint
+    rules do with ``@register_rule``.  Unknown names raise a
+    :class:`KeyError` that lists the full catalogue.
+    """
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, Callable[..., Defense]] = {}
+        self._loaded = False
+
+    def register(self, factory: Callable[..., Defense]):
+        name = getattr(factory, "name", None)
+        if not name or name == Defense.name:
+            raise ValueError(
+                f"defense class {factory!r} must define a concrete `name`"
+            )
+        # Re-registration (module reload, tests) replaces by name.
+        self._factories[name] = factory
+        return factory
+
+    def _load(self) -> None:
+        if self._loaded:
+            return
+        self._loaded = True
+        for module in _DEFENSE_MODULES:
+            importlib.import_module(module)
+
+    def __getitem__(self, key: str) -> Callable[..., Defense]:
+        self._load()
+        try:
+            return self._factories[key]
+        except KeyError:
+            known = ", ".join(sorted(self._factories))
+            raise KeyError(
+                f"unknown defense {key!r}; known: {known}"
+            ) from None
+
+    def __iter__(self) -> Iterator[str]:
+        self._load()
+        return iter(self._factories)
+
+    def __len__(self) -> int:
+        self._load()
+        return len(self._factories)
+
+
+#: name -> Defense factory.
+DEFENSES = DefenseRegistry()
+
+
+def register_defense(cls):
+    """Class decorator: add a :class:`Defense` subclass to ``DEFENSES``.
+
+    The class registers under its ``name`` attribute.  Registration is
+    the *only* boilerplate a new defense needs; the registry, config
+    hydration, differential harness parametrization and the zoo sweep
+    all read ``DEFENSES``.
+    """
+    return DEFENSES.register(cls)
+
+
+@register_defense
 class NoDefense(Defense):
     """The vanilla system (the Table II 'attack succeeds' baseline)."""
 
@@ -46,6 +136,7 @@ class NoDefense(Defense):
     summary = "unmodified kernel and allocator"
 
 
+@register_defense
 class SoftTrrDefense(Defense):
     """SoftTRR as a defense configuration (for head-to-head benches)."""
 
@@ -73,43 +164,3 @@ def boot_kernel(spec: MachineSpec, defense: Optional[Defense] = None) -> Kernel:
     from ..machine import Machine
 
     return Machine.from_parts(spec, defense).kernel
-
-
-def _registry() -> Dict[str, Callable[[], Defense]]:
-    from .alis import AlisDefense
-    from .anvil import AnvilDefense
-    from .catt import CattDefense
-    from .cta import CtaDefense
-    from .riprh import RipRhDefense
-    from .zebram import ZebramDefense
-
-    return {
-        "vanilla": NoDefense,
-        "catt": CattDefense,
-        "cta": CtaDefense,
-        "zebram": ZebramDefense,
-        "anvil": AnvilDefense,
-        "riprh": RipRhDefense,
-        "alis": AlisDefense,
-        "softtrr": SoftTrrDefense,
-    }
-
-
-class _LazyRegistry(dict):
-    """Defense registry resolved lazily to avoid import cycles."""
-
-    def __missing__(self, key):
-        self.update(_registry())
-        # dict.__getitem__ re-enters __missing__ for absent keys, so an
-        # unknown defense must raise here rather than recurse.
-        if key not in self:
-            raise KeyError(key)
-        return dict.__getitem__(self, key)
-
-    def keys(self):  # pragma: no cover - convenience
-        self.update(_registry())
-        return dict.keys(self)
-
-
-#: name -> Defense factory.
-DEFENSES = _LazyRegistry()

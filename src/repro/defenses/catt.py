@@ -23,7 +23,7 @@ from typing import List, Optional, Sequence, Set, Tuple
 from ..errors import DefenseError
 from ..kernel.buddy import BuddyAllocator
 from ..kernel.physmem import FramePolicy, FrameUse
-from .base import Defense
+from .base import Defense, register_defense
 
 
 class RegionPolicy(FramePolicy):
@@ -95,6 +95,7 @@ def _guard_frames(kernel, guard_rows: int = 8) -> int:
     return guard_rows * frames_per_row_index
 
 
+@register_defense
 class CattDefense(Defense):
     """CATT as a bootable defense configuration."""
 

@@ -19,13 +19,14 @@ from typing import Optional
 
 from ..kernel.buddy import BuddyAllocator
 from ..kernel.physmem import FrameUse
-from .base import Defense
+from .base import Defense, register_defense
 from .catt import RegionPolicy, _guard_frames
 
 #: Fraction of managed frames reserved for the L1PT region.
 PT_FRACTION = 0.15
 
 
+@register_defense
 class CtaDefense(Defense):
     """CTA as a bootable defense configuration."""
 

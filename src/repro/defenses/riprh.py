@@ -26,7 +26,7 @@ from typing import Optional, Set
 
 from ..kernel.buddy import BuddyAllocator
 from ..kernel.physmem import FramePolicy, FrameUse
-from .base import Defense
+from .base import Defense, register_defense
 from .catt import RegionPolicy, _guard_frames
 
 #: Fraction of managed frames reserved for sensitive processes.
@@ -69,6 +69,7 @@ class RipRhPolicy(FramePolicy):
         return self._regions.region_of(ppn)
 
 
+@register_defense
 class RipRhDefense(Defense):
     """RIP-RH as a bootable defense configuration.
 

@@ -1,0 +1,146 @@
+"""Graphene-style Misra-Gries heavy-hitter tracker (Park et al. [41]).
+
+Same summary structure as the in-DRAM ChipTRR model, but sized and
+managed the way Graphene proposes for a *provable* guarantee: enough
+table entries that any row reaching the rowhammer threshold must be
+tracked (Misra-Gries guarantees a row with true count ``c`` has counter
+``>= c - A/(k+1)`` for A total ACTs and k entries), and mitigation
+*subtracts* the threshold from the counter instead of zeroing it, so a
+row that keeps hammering keeps getting mitigated at the right cadence
+rather than restarting from scratch.
+
+Counters reset lazily at each auto-refresh epoch, like every other
+accumulator in the DRAM model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ...errors import ConfigError
+from ..base import Defense, register_defense
+from ...dram.feed import Tracker
+
+
+@dataclass(frozen=True)
+class MisraGriesParams:
+    """Graphene-style tracker configuration."""
+
+    #: Counter table entries per bank (Graphene sizes this from the
+    #: rowhammer threshold; default is deliberately generous vs ChipTRR).
+    table_entries: int = 8
+    #: ACT count at which a tracked row's neighbourhood is refreshed.
+    threshold: int = 2_000
+    #: How far out to refresh when triggered (rows each side).
+    refresh_distance: int = 2
+
+    def __post_init__(self) -> None:
+        if self.table_entries < 1:
+            raise ConfigError("Misra-Gries table needs at least one entry")
+        if self.threshold < 2:
+            raise ConfigError("Misra-Gries threshold must be >= 2")
+        if self.refresh_distance < 1:
+            raise ConfigError("Misra-Gries refresh distance must be >= 1")
+
+
+class MisraGriesTracker(Tracker):
+    """Per-bank Misra-Gries summary with subtract-on-mitigate."""
+
+    name = "misra_gries"
+
+    def __init__(self, params: MisraGriesParams, remap=None) -> None:
+        super().__init__()
+        self.params = params
+        self.remap = remap
+        # bank -> [epoch, {row: count}]
+        self._tables: Dict[int, List] = {}
+        self.mitigations = 0
+        self.evictions = 0
+
+    def _table(self, bank: int, epoch: int) -> Dict[int, int]:
+        state = self._tables.get(bank)
+        if state is None:
+            state = [epoch, {}]
+            self._tables[bank] = state
+        elif state[0] != epoch:
+            state[0] = epoch
+            state[1] = {}
+        return state[1]
+
+    def observe(self, bank: int, row: int, count: int, epoch: int,
+                now_ns: int) -> None:
+        if count <= 0:
+            return
+        table = self._table(bank, epoch)
+        if row in table:
+            table[row] += count
+        elif len(table) < self.params.table_entries:
+            table[row] = count
+        else:
+            # Misra-Gries spillover: decrement everybody by the arrival
+            # weight; rows that hit zero free their entry.
+            self.evictions += 1
+            dead = []
+            for tracked, value in table.items():
+                value -= count
+                if value <= 0:
+                    dead.append(tracked)
+                else:
+                    table[tracked] = value
+            for tracked in dead:
+                del table[tracked]
+            return
+        # Graphene mitigation: subtract the threshold (possibly several
+        # times for a large batch) so sustained hammering is mitigated
+        # at threshold cadence, not restarted from zero.
+        while table[row] >= self.params.threshold:
+            table[row] -= self.params.threshold
+            self._issue_refresh(bank, row)
+
+    def _issue_refresh(self, bank: int, row: int) -> None:
+        self.mitigations += 1
+        for distance in range(1, self.params.refresh_distance + 1):
+            if self.remap is not None:
+                for victim in self.remap.neighbors_at(row, distance):
+                    self.queue_refresh(bank, victim)
+            else:
+                self.queue_refresh(bank, row - distance)
+                self.queue_refresh(bank, row + distance)
+
+    def tracked_rows(self, bank: int, epoch: int) -> Dict[int, int]:
+        """Snapshot of the table for tests/diagnostics."""
+        return dict(self._table(bank, epoch))
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "mitigations": self.mitigations,
+            "evictions": self.evictions,
+        }
+
+    def sram_bits(self) -> int:
+        counter_bits = max(2, self.params.threshold.bit_length())
+        return self.params.table_entries * (16 + counter_bits)
+
+
+@register_defense
+class MisraGriesDefense(Defense):
+    """Graphene-style counting as a deployable defense configuration."""
+
+    name = "misra_gries"
+    summary = "Graphene-style Misra-Gries counters, subtract-on-mitigate"
+
+    def __init__(self, table_entries: int = 8, threshold: int = 2_000,
+                 refresh_distance: int = 2) -> None:
+        self.params = MisraGriesParams(
+            table_entries=table_entries,
+            threshold=threshold,
+            refresh_distance=refresh_distance,
+        )
+        self._tracker: Optional[MisraGriesTracker] = None
+
+    def install(self, kernel) -> None:
+        self._tracker = MisraGriesTracker(
+            self.params, remap=kernel.dram.remap
+        )
+        kernel.dram.feed.subscribe(self._tracker)

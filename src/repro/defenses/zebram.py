@@ -26,7 +26,7 @@ from typing import List, Optional, Set
 from ..errors import DefenseError, OutOfMemoryError
 from ..kernel.buddy import BuddyAllocator
 from ..kernel.physmem import FramePolicy, FrameUse
-from .base import Defense
+from .base import Defense, register_defense
 
 
 class StripedPolicy(FramePolicy):
@@ -82,6 +82,7 @@ class StripedPolicy(FramePolicy):
         return ppn in self._free_set or ppn in self._allocated
 
 
+@register_defense
 class ZebramDefense(Defense):
     """ZebRAM as a bootable defense configuration."""
 

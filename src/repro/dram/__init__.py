@@ -31,6 +31,7 @@ from .disturbance import (
 )
 from .dense import DenseDisturbanceEngine
 from .chiptrr import TrrParams, ChipTrr
+from .feed import ActivationFeed, RefreshActuator, Tracker
 from .bank import BankState, RowBufferPolicy
 from .remap import FoldedRemap, IdentityRemap, RowRemap, build_remap
 from .module import DramModule
@@ -51,6 +52,9 @@ __all__ = [
     "VulnerableCell",
     "TrrParams",
     "ChipTrr",
+    "ActivationFeed",
+    "RefreshActuator",
+    "Tracker",
     "BankState",
     "RowBufferPolicy",
     "RowRemap",

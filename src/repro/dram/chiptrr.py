@@ -23,14 +23,24 @@ phenomenology exactly:
 
 Counters reset at each auto-refresh epoch (lazy, like the disturbance
 accumulators).
+
+Since the layered-tracker refactor ChipTRR is just one
+:class:`~repro.dram.feed.Tracker` riding the module's
+:class:`~repro.dram.feed.ActivationFeed`: :meth:`observe` updates the
+Misra-Gries summary and queues victim rows, which the feed actuates
+through the shared :class:`~repro.dram.feed.RefreshActuator` — at
+exactly the points in the activation stream the pre-refactor bespoke
+wiring healed them (the generative differential harness enforces
+bit-identity).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from ..errors import ConfigError
+from .feed import Tracker
 
 
 @dataclass(frozen=True)
@@ -52,17 +62,23 @@ class TrrParams:
                 raise ConfigError("TRR refresh distance must be >= 1")
 
 
-class ChipTrr:
+class ChipTrr(Tracker):
     """Per-bank Misra-Gries ACT tracker issuing targeted refreshes.
 
-    The module wires ``refresh_row(bank, row)`` to the disturbance
-    engine's :meth:`~repro.dram.disturbance.DisturbanceEngine.heal`.
+    As a feed subscriber the tracker only *queues* victims; the feed's
+    actuator performs the heals.  ``refresh_row`` is the legacy
+    direct-wiring escape hatch: tests that drive the tracker standalone
+    pass a callable and use :meth:`on_activate`, which drains onto it.
     """
 
+    name = "chiptrr"
+
     def __init__(
-        self, params: TrrParams, refresh_row: Callable[[int, int], None],
+        self, params: TrrParams,
+        refresh_row: Optional[Callable[[int, int], None]] = None,
         remap=None,
     ) -> None:
+        super().__init__()
         self.params = params
         self._refresh_row = refresh_row
         #: The TRR engine is silicon: it refreshes the rows *physically*
@@ -84,7 +100,8 @@ class ChipTrr:
             state[1] = {}
         return state[1]
 
-    def on_activate(self, bank: int, row: int, count: int, epoch: int) -> None:
+    def observe(self, bank: int, row: int, count: int, epoch: int,
+                now_ns: int) -> None:
         """Feed ``count`` ACTs of (bank, row) through the tracker."""
         if not self.params.enabled or count <= 0:
             return
@@ -112,19 +129,49 @@ class ChipTrr:
             counters[row] = 0
             self._issue_refresh(bank, row)
 
+    def on_activate(self, bank: int, row: int, count: int, epoch: int) -> None:
+        """Legacy direct-wiring entry: observe, then actuate locally.
+
+        Only meaningful when the tracker was constructed with a
+        ``refresh_row`` callable (standalone use in tests/diagnostics);
+        feed-subscribed trackers are driven through ``observe`` and
+        drained by the feed instead.
+        """
+        # Policy observation, not a metric mutation (RPR008's
+        # ``.observe`` heuristic collides with the Tracker verb).
+        self.observe(bank, row, count, epoch, 0)  # repro-lint: disable=RPR008
+        pending = self.drain_refreshes()
+        if self._refresh_row is not None:
+            for victim_bank, victim_row in pending:
+                self._refresh_row(victim_bank, victim_row)
+
     def _issue_refresh(self, bank: int, row: int) -> None:
-        """Refresh the suspected aggressor's neighbourhood."""
+        """Queue the suspected aggressor's neighbourhood for refresh."""
         self.targeted_refreshes += 1
         for distance in range(1, self.params.refresh_distance + 1):
             if self.remap is not None:
                 for victim in self.remap.neighbors_at(row, distance):
-                    self._refresh_row(bank, victim)
+                    self.queue_refresh(bank, victim)
             else:
-                self._refresh_row(bank, row - distance)
-                self._refresh_row(bank, row + distance)
+                self.queue_refresh(bank, row - distance)
+                self.queue_refresh(bank, row + distance)
 
     def tracked_rows(self, bank: int, epoch: int) -> Dict[int, int]:
         """Snapshot of the tracker for tests/diagnostics."""
         if not self.params.enabled:
             return {}
         return dict(self._tracker(bank, epoch))
+
+    # ------------------------------------------------------- telemetry
+    def counters(self) -> Dict[str, int]:
+        return {
+            "targeted_refreshes": self.targeted_refreshes,
+            "evictions": self.evictions,
+        }
+
+    def sram_bits(self) -> int:
+        # Per-bank: one (row address, ACT counter) pair per slot; DDR4
+        # row addresses are ~16 bits and the counter must hold the
+        # threshold.
+        counter_bits = max(2, self.params.trr_threshold.bit_length())
+        return self.params.tracker_slots * (16 + counter_bits)

@@ -280,7 +280,7 @@ class DenseDisturbanceEngine(DisturbanceCore):
                 plan[4] += count
                 deposits += plan[5]
                 if trr_enabled:
-                    trr_on(bank, row, count, epoch)
+                    trr_on(bank, row, count, epoch, now)
                 recent_append((bank, row, origin))
                 acts += count
                 now += step

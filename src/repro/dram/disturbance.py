@@ -509,7 +509,7 @@ class DisturbanceEngine(DisturbanceCore):
                 plan[3] += count
                 deposits += plan[4]
                 if trr_enabled:
-                    trr_on(bank, row, count, epoch)
+                    trr_on(bank, row, count, epoch, now)
                 recent_append((bank, row, origin))
                 acts += count
                 now += step

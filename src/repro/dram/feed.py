@@ -1,0 +1,171 @@
+"""The activation feed: observation and actuation seams for trackers.
+
+The defense stack is layered in three (DESIGN.md "Defense
+architecture"):
+
+* **observation** — :class:`ActivationFeed`, the single choke point
+  :class:`~repro.dram.module.DramModule` publishes every row activation
+  through.  Any tracker can subscribe; the module's hot paths pay one
+  ``feed.active`` test when no tracker is installed.
+* **tracking policy** — :class:`Tracker` implementations (ChipTRR in
+  :mod:`repro.dram.chiptrr`, the zoo in
+  :mod:`repro.defenses.trackers`) that watch the feed and decide which
+  rows to refresh.  Trackers never touch ``DramModule`` or
+  ``BankState`` internals — the flow rule RPR013 enforces that the
+  feed is their only window into the DRAM.
+* **actuation** — :class:`RefreshActuator`, the shared neighbour-refresh
+  engine.  ChipTRR, every zoo tracker and the module's own
+  ``refresh_row`` path (which SoftTRR's row refresher drives) all issue
+  refreshes through the same actuator, so refresh accounting has one
+  home.
+
+Determinism contract: ``publish`` runs trackers in subscription order
+and actuates each tracker's drained refreshes immediately, so a batched
+replay that publishes the same ``(bank, row, count, epoch, now_ns)``
+sequence as the scalar loop heals rows at exactly the same points in
+the deposit stream — the generative differential harness holds every
+tracker to that bar, bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["ActivationFeed", "RefreshActuator", "Tracker"]
+
+
+class Tracker:
+    """Interface for one tracking policy riding the activation feed.
+
+    Subclasses implement :meth:`observe` (update state; queue victim
+    rows with :meth:`queue_refresh`) and inherit the drain machinery.
+    All randomness must come from :func:`repro.rng.derive_rng` streams
+    held on the tracker (RPR010), and all state must deepcopy cleanly —
+    ``Machine.snapshot`` copies trackers with the DRAM they watch.
+    """
+
+    #: Registry-style short name (also the telemetry namespace).
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self._pending: List[Tuple[int, int]] = []
+
+    # ------------------------------------------------------ observation
+    def observe(self, bank: int, row: int, count: int, epoch: int,
+                now_ns: int) -> None:
+        """Feed ``count`` ACTs of ``(bank, row)`` through the policy.
+
+        ``epoch`` is the auto-refresh epoch of ``now_ns``; trackers with
+        windowed state reset lazily on epoch change, exactly like the
+        disturbance accumulators.
+        """
+        raise NotImplementedError
+
+    # -------------------------------------------------------- actuation
+    def queue_refresh(self, bank: int, row: int) -> None:
+        """Queue one victim row for refresh at the next drain."""
+        self._pending.append((bank, row))
+
+    def drain_refreshes(self) -> List[Tuple[int, int]]:
+        """Victim rows queued since the last drain (cleared on return)."""
+        if not self._pending:
+            return self._pending
+        drained = self._pending
+        self._pending = []
+        return drained
+
+    # -------------------------------------------------------- telemetry
+    def counters(self) -> Dict[str, int]:
+        """Behavioural counters, namespaced by the telemetry facade."""
+        return {}
+
+    def sram_bits(self) -> int:
+        """Estimated per-bank tracker SRAM budget in bits.
+
+        The comparative zoo report ranks defenses by protection rate x
+        refresh overhead x this budget; pure-probabilistic trackers
+        (PARA) return 0 — statelessness is their selling point.
+        """
+        return 0
+
+
+class RefreshActuator:
+    """The shared neighbour-refresh engine (the actuation layer).
+
+    Wraps the DRAM's heal callback and its in-module row remapping:
+    :meth:`refresh_row` recharges one row, :meth:`refresh_neighbors`
+    walks the physical neighbourhood of an aggressor out to a given
+    blast radius — through the remap when one exists, the way silicon
+    TRR does.
+    """
+
+    def __init__(self, heal: Callable[[int, int], None],
+                 remap=None) -> None:
+        self._heal = heal
+        self.remap = remap
+        #: Individual row refreshes issued through this actuator.
+        self.refreshes = 0
+
+    def refresh_row(self, bank: int, row: int) -> None:
+        """Recharge one row (out-of-range rows are silently clipped)."""
+        self.refreshes += 1
+        self._heal(bank, row)
+
+    def refresh_neighbors(self, bank: int, row: int,
+                          max_distance: int) -> None:
+        """Refresh every physical neighbour within ``max_distance``."""
+        remap = self.remap
+        for distance in range(1, max_distance + 1):
+            if remap is not None:
+                for victim in remap.neighbors_at(row, distance):
+                    self.refresh_row(bank, victim)
+            else:
+                self.refresh_row(bank, row - distance)
+                self.refresh_row(bank, row + distance)
+
+
+class ActivationFeed:
+    """The observation choke point every row activation flows through.
+
+    ``DramModule`` publishes ``(bank, row, count, epoch, now_ns)`` for
+    each activation burst; the feed runs subscribed trackers in order
+    and actuates their drained refreshes immediately, preserving the
+    deposit/heal interleaving the scalar replay produces.
+    """
+
+    def __init__(self, actuator: RefreshActuator) -> None:
+        self.actuator = actuator
+        self._trackers: List[Tracker] = []
+
+    @property
+    def active(self) -> bool:
+        """Whether any tracker is subscribed (the hot-path gate)."""
+        return bool(self._trackers)
+
+    def trackers(self) -> Tuple[Tracker, ...]:
+        """Subscribed trackers, in subscription order."""
+        return tuple(self._trackers)
+
+    def subscribe(self, tracker: Tracker) -> Tracker:
+        """Attach a tracker to the feed; returns it for chaining."""
+        self._trackers.append(tracker)
+        return tracker
+
+    def unsubscribe(self, tracker: Tracker) -> None:
+        """Detach a tracker previously subscribed (no-op if absent)."""
+        try:
+            self._trackers.remove(tracker)
+        except ValueError:
+            pass
+
+    def publish(self, bank: int, row: int, count: int, epoch: int,
+                now_ns: int) -> None:
+        """One activation burst: observe, then actuate drained victims."""
+        actuator = self.actuator
+        for tracker in self._trackers:
+            # Policy observation, not a metric mutation (RPR008's
+            # ``.observe`` heuristic collides with the Tracker verb).
+            tracker.observe(  # repro-lint: disable=RPR008
+                bank, row, count, epoch, now_ns)
+            for victim_bank, victim_row in tracker.drain_refreshes():
+                actuator.refresh_row(victim_bank, victim_row)

@@ -34,6 +34,7 @@ from .bank import BankState, RowBufferPolicy
 from .chiptrr import ChipTrr, TrrParams
 from .dense import DenseDisturbanceEngine
 from .disturbance import DisturbanceEngine, DisturbanceParams, FlipEvent
+from .feed import ActivationFeed, RefreshActuator
 from .geometry import DramGeometry, LINE_BYTES
 from .remap import IdentityRemap, RowRemap
 from .timing import DramTimings
@@ -97,7 +98,17 @@ class DramModule:
         engine_cls = DenseDisturbanceEngine if dense else DisturbanceEngine
         self.engine = engine_cls(self.geometry, disturbance,
                                  remap=self.remap)
-        self.trr = ChipTrr(trr, self._heal_row, remap=self.remap)
+        # The three defense layers meet here: every activation is
+        # published through the feed (observation), subscribed trackers
+        # decide who to refresh (policy), and the shared actuator heals
+        # (actuation).  The profile's ChipTRR subscribes like any other
+        # tracker; zoo trackers join via ``feed.subscribe`` at defense
+        # install time.
+        self.actuator = RefreshActuator(self._heal_row, remap=self.remap)
+        self.feed = ActivationFeed(self.actuator)
+        self.trr = ChipTrr(trr, remap=self.remap)
+        if trr.enabled:
+            self.feed.subscribe(self.trr)
         self._banks: List[BankState] = [BankState() for _ in range(self.geometry.num_banks)]
         self._rows: Dict[Tuple[int, int], bytearray] = {}
         self.flip_log: List[FlipEvent] = []
@@ -159,7 +170,10 @@ class DramModule:
             self._apply_flips(
                 self.engine.on_activate(dram.bank, dram.row, 1, epoch, self.clock.now_ns)
             )
-            self.trr.on_activate(dram.bank, dram.row, 1, epoch)
+            feed = self.feed
+            if feed.active:
+                feed.publish(dram.bank, dram.row, 1, epoch,
+                             self.clock.now_ns)
             self.total_activations += 1
             self.recent_activations.append(
                 (dram.bank, dram.row,
@@ -192,8 +206,9 @@ class DramModule:
 
         * the generic kernel (``engine.hammer_kernel``) replays
           deposit-by-deposit any victim that can actually flip — and
-          every aggressor row, and every victim when ChipTRR is enabled
-          (its mid-batch refreshes interleave with deposits) — while
+          every aggressor row, and every victim when a tracker rides
+          the activation feed (its mid-batch refreshes interleave with
+          deposits) — while
           invulnerable bookkeeping-only rows take one fused
           ``weight * total_count`` add per aggressor at the end of the
           batch (the sanctioned last-ULP relaxation, see DESIGN.md),
@@ -213,7 +228,8 @@ class DramModule:
         window = timings.refresh_window_ns
         per_act_ns = timings.conflict_latency_ns + extra_ns
         engine = self.engine
-        trr_enabled = self.trr.params.enabled
+        feed = self.feed
+        feed_active = feed.active
         paddr_cache: Dict[int, Tuple[int, int]] = {}
 
         # Periodic fast path: detected on the raw items (cheap identity
@@ -221,7 +237,7 @@ class DramModule:
         # per-item Python loop runs at all.
         cycle = None
         n_items = len(items)
-        if (engine.supports_periodic and not trr_enabled
+        if (engine.supports_periodic and not feed_active
                 and per_act_ns > 0 and n_items >= 8):
             p = _detect_period(items)
             if p is not None and all(c > 0 for _paddr, c in items[:p]):
@@ -268,7 +284,7 @@ class DramModule:
                     resolved,
                     epoch=epoch, now_ns=start_ns, per_act_ns=per_act_ns,
                     window=window, origin=origin,
-                    trr_on=self.trr.on_activate if trr_enabled else None,
+                    trr_on=feed.publish if feed_active else None,
                     recent=self.recent_activations))
 
         self._apply_flips(flips)
@@ -373,7 +389,10 @@ class DramModule:
         if trace is not None:
             trace.emit("dram.deposit",
                        count=self.engine.total_deposits - deposits_before)
-        self.trr.on_activate(dram.bank, dram.row, count, epoch)
+        feed = self.feed
+        if feed.active:
+            feed.publish(dram.bank, dram.row, count, epoch,
+                         self.clock.now_ns)
         self.total_activations += count
         self.recent_activations.append((dram.bank, dram.row, origin))
         self.clock.advance(count * self.timings.conflict_latency_ns)
@@ -447,10 +466,15 @@ class DramModule:
             cursor += chunk
 
     def refresh_row(self, bank: int, row: int) -> None:
-        """Explicit refresh of one row (heals disturbance)."""
+        """Explicit refresh of one row (heals disturbance).
+
+        Routed through the shared actuator, so SoftTRR's row-refresher
+        reads, kernel-driven refreshes and tracker-issued TRR all land
+        in one refresh account.
+        """
         self.geometry.check_bank(bank)
         self.geometry.check_row(row)
-        self._heal_row(bank, row)
+        self.actuator.refresh_row(bank, row)
 
     def row_accumulated(self, bank: int, row: int) -> float:
         """Current-epoch disturbance of a row (diagnostics)."""

@@ -8,9 +8,8 @@ batching knob), is built from a declarative :class:`MachineConfig`, and
 offers:
 
 * :attr:`telemetry` — every per-layer statistic (TLB, CPU cache, DRAM
-  banks, disturbance engine, in-DRAM TRR, kernel, timers, SoftTRR)
-  under one typed facade (the deprecated :meth:`counters` shim keeps
-  the old flat-dict shape alive);
+  banks, disturbance engine, in-DRAM TRR, feed trackers, kernel,
+  timers, SoftTRR) under one typed facade;
 * :meth:`snapshot` / :meth:`restore` — deterministic whole-machine
   checkpointing.  A restored machine replays to bit-identical
   FlipEvent streams because *all* replay-relevant state travels:
@@ -221,22 +220,6 @@ class Machine:
         from ..trace.telemetry import Telemetry
 
         return Telemetry(self)
-
-    def counters(self) -> Dict[str, int]:
-        """Deprecated: use :attr:`telemetry` (``.as_flat_dict()``).
-
-        Returns the same ``layer.counter`` dict as before — this shim
-        exists so old callers keep working while they migrate.
-        """
-        import warnings
-
-        warnings.warn(
-            "Machine.counters() is deprecated; use "
-            "machine.telemetry.as_flat_dict() (or .counter()/.group())",
-            DeprecationWarning, stacklevel=2)
-        from ..trace.telemetry import sample_machine
-
-        return sample_machine(self)
 
     # ==================================================== snapshot/restore
     def snapshot(self) -> MachineSnapshot:

@@ -267,10 +267,16 @@ def _chaos() -> List[ScenarioSpec]:
     return out
 
 
+def _zoo() -> List[ScenarioSpec]:
+    from ..analysis.zoo import zoo_specs
+
+    return zoo_specs()
+
+
 def _build() -> Dict[str, ScenarioSpec]:
     registry: Dict[str, ScenarioSpec] = {}
     for builder in (_table2, _baselines, _table3, _table4, _table5,
-                    _lamp, _anatomy, _smoke, _chaos):
+                    _lamp, _anatomy, _smoke, _chaos, _zoo):
         for spec in builder():
             if spec.name in registry:
                 raise ConfigError(f"duplicate scenario name {spec.name!r}")

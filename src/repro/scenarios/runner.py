@@ -201,6 +201,13 @@ def _run_chaos(spec: ScenarioSpec) -> dict:
     return run_chaos_scenario(spec)
 
 
+# ------------------------------------------------------------------- zoo
+def _run_zoo(spec: ScenarioSpec) -> dict:
+    from ..analysis.zoo import run_zoo_scenario
+
+    return run_zoo_scenario(spec)
+
+
 _RUNNERS = {
     "attack": _run_attack,
     "overhead": _run_overhead,
@@ -208,6 +215,7 @@ _RUNNERS = {
     "lamp": _run_lamp,
     "stress": _run_stress,
     "chaos": _run_chaos,
+    "zoo": _run_zoo,
 }
 
 

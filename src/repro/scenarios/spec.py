@@ -20,7 +20,8 @@ from ..errors import ConfigError
 __all__ = ["KINDS", "ScenarioSpec", "ScenarioResult", "results_to_json"]
 
 #: Scenario kinds the runner knows how to execute.
-KINDS = ("attack", "overhead", "breakdown", "lamp", "stress", "chaos")
+KINDS = ("attack", "overhead", "breakdown", "lamp", "stress", "chaos",
+         "zoo")
 
 
 @dataclass(frozen=True)

@@ -1,6 +1,5 @@
 """The Telemetry facade: typed, namespaced access to machine statistics.
 
-This replaces the flat ``Machine.counters()`` dict-of-dot-strings API.
 The facade is *stateless* — it samples the live machine on every call,
 so it needs no snapshot/restore handling of its own and two facades over
 the same machine always agree.
@@ -31,11 +30,11 @@ __all__ = ["Telemetry", "sample_machine"]
 def sample_machine(machine) -> Dict[str, int]:
     """Every per-layer behavioural statistic, namespaced ``layer.counter``.
 
-    This is the single source of the registry the legacy
-    ``Machine.counters()`` shim and :class:`Telemetry` both expose.
-    Layers: ``clock``, ``kernel``, ``timers``, ``tlb``, ``cache``,
-    ``dram``, ``bank.<i>``, ``engine``, ``trr``, ``accounting`` and,
-    when loaded, ``softtrr`` and ``faults.<site>``.
+    This is the single source of the registry :class:`Telemetry`
+    exposes.  Layers: ``clock``, ``kernel``, ``timers``, ``tlb``,
+    ``cache``, ``dram``, ``bank.<i>``, ``engine``, ``trr``,
+    ``actuator``, ``accounting``, one ``tracker.<i>.<name>`` group per
+    feed subscriber and, when loaded, ``softtrr`` and ``faults.<site>``.
     """
     kernel = machine.kernel
     dram = kernel.dram
@@ -62,7 +61,13 @@ def sample_machine(machine) -> Dict[str, int]:
         "engine.total_deposits": dram.engine.total_deposits,
         "engine.total_flip_events": dram.engine.total_flip_events,
         "trr.targeted_refreshes": dram.trr.targeted_refreshes,
+        "actuator.refreshes": dram.actuator.refreshes,
     }
+    for index, tracker in enumerate(dram.feed.trackers()):
+        prefix = f"tracker.{index}.{tracker.name}"
+        for key, value in tracker.counters().items():
+            out[f"{prefix}.{key}"] = value
+        out[f"{prefix}.sram_bits"] = tracker.sram_bits()
     for index in range(dram.geometry.num_banks):
         bank = dram.bank_state(index)
         out[f"bank.{index}.activations"] = bank.activations

@@ -1,0 +1,1 @@
+"""Known-bad RPR013 fixture: trackers reaching into the DRAM substrate."""

@@ -1,0 +1,28 @@
+"""Mini observation layer: the Tracker base and the substrate classes."""
+
+
+class BankState:
+    def __init__(self):
+        self.open_row = None
+
+    def activate(self, row):
+        self.open_row = row
+
+
+class DramModule:
+    def __init__(self):
+        self.banks = [BankState()]
+
+    def refresh_row(self, bank, row):
+        return (bank, row)
+
+
+class Tracker:
+    def __init__(self):
+        self._pending = []
+
+    def observe(self, bank, row, count, epoch, now_ns):
+        raise NotImplementedError
+
+    def queue_refresh(self, bank, row):
+        self._pending.append((bank, row))

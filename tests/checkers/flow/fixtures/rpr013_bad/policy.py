@@ -1,0 +1,32 @@
+"""Trackers that collapse the layering three different ways."""
+
+from .feed import BankState, DramModule, Tracker
+
+
+class DirectHealer(Tracker):
+    """Calls the substrate's heal path instead of queueing."""
+
+    def __init__(self, dram):
+        super().__init__()
+        self.dram = DramModule()
+
+    def observe(self, bank, row, count, epoch, now_ns):
+        self.dram.refresh_row(bank, row - 1)
+
+
+class BankPeeker(Tracker):
+    """Pokes per-bank row-buffer state the feed should mediate."""
+
+    def __init__(self):
+        super().__init__()
+        self.bank = BankState()
+
+    def observe(self, bank, row, count, epoch, now_ns):
+        self.bank.activate(row)
+
+
+class DeepTracker(DirectHealer):
+    """Inherits trackerhood transitively; still forbidden."""
+
+    def observe(self, bank, row, count, epoch, now_ns):
+        BankState().activate(row)

@@ -1,0 +1,1 @@
+"""Known-good RPR013 fixture: policy stays behind the feed interface."""

@@ -1,0 +1,48 @@
+"""Mini observation layer: feed, actuator, substrate, Tracker base."""
+
+
+class BankState:
+    def __init__(self):
+        self.open_row = None
+
+    def activate(self, row):
+        self.open_row = row
+
+
+class DramModule:
+    def __init__(self):
+        self.banks = [BankState()]
+
+    def refresh_row(self, bank, row):
+        return (bank, row)
+
+
+class Tracker:
+    def __init__(self):
+        self._pending = []
+
+    def observe(self, bank, row, count, epoch, now_ns):
+        raise NotImplementedError
+
+    def queue_refresh(self, bank, row):
+        self._pending.append((bank, row))
+
+    def drain_refreshes(self):
+        pending = self._pending
+        if pending:
+            self._pending = []
+        return pending
+
+
+class ActivationFeed:
+    """The non-tracker layer may drive the substrate; that is its job."""
+
+    def __init__(self, dram):
+        self.dram = DramModule()
+        self.trackers = []
+
+    def publish(self, bank, row, count, epoch, now_ns):
+        for tracker in self.trackers:
+            tracker.observe(bank, row, count, epoch, now_ns)
+            for victim_bank, victim_row in tracker.drain_refreshes():
+                self.dram.refresh_row(victim_bank, victim_row)

@@ -1,0 +1,18 @@
+"""A tracker that only observes and queues — the sanctioned shape."""
+
+from .feed import Tracker
+
+
+class CountingTracker(Tracker):
+    def __init__(self, threshold):
+        super().__init__()
+        self.threshold = threshold
+        self.counts = {}
+
+    def observe(self, bank, row, count, epoch, now_ns):
+        key = (bank, row)
+        self.counts[key] = self.counts.get(key, 0) + count
+        if self.counts[key] >= self.threshold:
+            self.counts[key] = 0
+            self.queue_refresh(bank, row - 1)
+            self.queue_refresh(bank, row + 1)

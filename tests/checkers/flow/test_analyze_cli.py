@@ -55,7 +55,8 @@ def test_json_report_shape(tmp_path, capsys):
     report = json.loads(capsys.readouterr().out)
     assert report["count"] == 2
     assert report["grandfathered"] == 0
-    assert report["rules"] == ["RPR009", "RPR010", "RPR011", "RPR012"]
+    assert report["rules"] == [
+        "RPR009", "RPR010", "RPR011", "RPR012", "RPR013"]
     assert report["wall_time_s"] >= 0
     assert {f["rule_id"] for f in report["findings"]} == {"RPR010"}
     assert all("symbol" in f for f in report["findings"])

@@ -120,9 +120,32 @@ def test_rpr012_silent_on_toplevel_capture_free_worker(tmp_path):
     assert findings == []
 
 
+# ---------------------------------------------------- RPR013 (layering)
+def test_rpr013_fires_on_each_layering_breach(tmp_path):
+    _, _, findings = analyze_fixture(tmp_path, "rpr013_bad", "RPR013")
+    by_symbol = {}
+    for finding in findings:
+        by_symbol.setdefault(
+            finding.symbol.rsplit(".", 2)[-2], []).append(finding.message)
+    # Substrate method call on a typed attribute.
+    assert any("DramModule" in m for m in by_symbol["DirectHealer"])
+    # BankState poking, and a transitive Tracker subclass.
+    assert any("BankState" in m for m in by_symbol["BankPeeker"])
+    assert any("constructs" in m for m in by_symbol["DeepTracker"])
+    assert all(f.rule_id == "RPR013" for f in findings)
+
+
+def test_rpr013_silent_on_feed_mediated_policy(tmp_path):
+    # The feed itself may drive the substrate — only Tracker subclasses
+    # are held to the interface.
+    _, _, findings = analyze_fixture(tmp_path, "rpr013_good", "RPR013")
+    assert findings == []
+
+
 # ------------------------------------------------------- cross-fixture
 @pytest.mark.parametrize("name", [
-    "rpr009_good", "rpr010_good", "rpr011_good", "rpr012_good"])
+    "rpr009_good", "rpr010_good", "rpr011_good", "rpr012_good",
+    "rpr013_good"])
 def test_good_fixtures_clean_under_all_rules(tmp_path, name):
     _, _, findings = analyze_fixture(tmp_path, name)
     assert findings == []

@@ -1,0 +1,211 @@
+"""Unit tests for the tracker zoo policies and the layered feed.
+
+The trackers are tested standalone (policy logic: insertion, eviction,
+thresholds, budgets) and installed (the defense subscribes them to the
+machine's activation feed and the shared actuator heals their victims).
+"""
+
+import pytest
+
+from repro.dram.feed import ActivationFeed, RefreshActuator, Tracker
+from repro.defenses import DEFENSES, register_defense
+from repro.defenses.base import Defense
+from repro.defenses.trackers.dapper import DapperParams, DapperTracker
+from repro.defenses.trackers.misra_gries import (
+    MisraGriesParams,
+    MisraGriesTracker,
+)
+from repro.defenses.trackers.para import ParaParams, ParaTracker
+from repro.defenses.trackers.ptmp import PtmpParams, PtmpTracker
+from repro.errors import ConfigError
+from repro.machine import Machine
+from repro.rng import derive_rng
+
+
+class TestFeedPlumbing:
+    def test_publish_observes_then_actuates(self):
+        healed = []
+        actuator = RefreshActuator(lambda bank, row: healed.append((bank, row)))
+        feed = ActivationFeed(actuator)
+
+        class Echo(Tracker):
+            name = "echo"
+
+            def observe(self, bank, row, count, epoch, now_ns):
+                self.queue_refresh(bank, row + 1)
+
+        feed.subscribe(Echo())
+        assert feed.active
+        feed.publish(0, 5, 3, 0, 0)
+        assert healed == [(0, 6)]
+        assert actuator.refreshes == 1
+
+    def test_unsubscribe_deactivates(self):
+        feed = ActivationFeed(RefreshActuator(lambda bank, row: None))
+        tracker = feed.subscribe(ParaTracker(
+            ParaParams(probability=1.0), derive_rng("t", 0)))
+        feed.unsubscribe(tracker)
+        assert not feed.active
+        assert feed.trackers() == ()
+
+
+class TestPara:
+    def test_probability_one_triggers_every_act(self):
+        tracker = ParaTracker(ParaParams(probability=1.0),
+                              derive_rng("para-test", 1))
+        tracker.observe(0, 10, 5, 0, 0)
+        assert tracker.triggers == 5
+        assert set(tracker.drain_refreshes()) == {(0, 9), (0, 11)}
+        assert tracker.sram_bits() == 0
+
+    def test_draws_are_seed_deterministic(self):
+        def run(seed):
+            tracker = ParaTracker(ParaParams(probability=0.3),
+                                  derive_rng("para-test", seed))
+            for row in range(50):
+                tracker.observe(0, row, 4, 0, 0)
+            return tracker.triggers, tuple(tracker.drain_refreshes())
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_param_validation(self):
+        with pytest.raises(ConfigError):
+            ParaParams(probability=0.0)
+        with pytest.raises(ConfigError):
+            ParaParams(refresh_distance=0)
+
+
+class TestMisraGries:
+    def params(self, **overrides):
+        merged = dict(table_entries=2, threshold=10, refresh_distance=1)
+        merged.update(overrides)
+        return MisraGriesParams(**merged)
+
+    def test_mitigation_subtracts_threshold(self):
+        tracker = MisraGriesTracker(self.params())
+        tracker.observe(0, 5, 25, 0, 0)
+        # 25 ACTs = two crossings of threshold 10 with 5 left over.
+        assert tracker.mitigations == 2
+        assert tracker.tracked_rows(0, 0) == {5: 5}
+        assert tracker.drain_refreshes() == [(0, 4), (0, 6)] * 2
+
+    def test_spillover_decrements_everybody(self):
+        tracker = MisraGriesTracker(self.params())
+        tracker.observe(0, 1, 3, 0, 0)
+        tracker.observe(0, 2, 6, 0, 0)
+        tracker.observe(0, 3, 4, 0, 0)  # spill: 3 dies, 2 drops to 2
+        assert tracker.evictions == 1
+        assert tracker.tracked_rows(0, 0) == {2: 2}
+
+    def test_epoch_reset_is_lazy(self):
+        tracker = MisraGriesTracker(self.params())
+        tracker.observe(0, 1, 9, 0, 0)
+        assert tracker.tracked_rows(0, 1) == {}
+        tracker.observe(0, 1, 9, 1, 0)
+        assert tracker.mitigations == 0
+
+
+class TestPtmp:
+    def params(self, **overrides):
+        merged = dict(table_entries=2, threshold=10,
+                      insert_probability=1.0, refresh_distance=1)
+        merged.update(overrides)
+        return PtmpParams(**merged)
+
+    def test_certain_insertion_behaves_like_counter(self):
+        tracker = PtmpTracker(self.params(), derive_rng("ptmp-test", 0))
+        tracker.observe(0, 5, 10, 0, 0)
+        assert tracker.mitigations == 1
+        assert tracker.tracked_rows(0, 0) == {5: 0}
+
+    def test_rejection_probability_zero_point(self):
+        tracker = PtmpTracker(self.params(insert_probability=1e-12),
+                              derive_rng("ptmp-test", 0))
+        for row in range(100):
+            tracker.observe(0, row, 10, 0, 0)
+        assert tracker.insertions == 0
+        assert tracker.rejected == 100
+        assert tracker.mitigations == 0
+
+    def test_full_table_evicts_random_victim(self):
+        tracker = PtmpTracker(self.params(), derive_rng("ptmp-test", 3))
+        tracker.observe(0, 1, 2, 0, 0)
+        tracker.observe(0, 2, 2, 0, 0)
+        tracker.observe(0, 3, 2, 0, 0)
+        table = tracker.tracked_rows(0, 0)
+        assert 3 in table and len(table) == 2
+
+
+class TestDapper:
+    def params(self, **overrides):
+        merged = dict(table_entries=2, threshold=10, mitigation_budget=2,
+                      refresh_distance=1)
+        merged.update(overrides)
+        return DapperParams(**merged)
+
+    def test_budget_caps_mitigations_per_epoch(self):
+        tracker = DapperTracker(self.params())
+        tracker.observe(0, 5, 45, 0, 0)  # four crossings, budget is two
+        assert tracker.mitigations == 2
+        assert tracker.suppressed == 2
+        assert tracker.budget_left(0, 0) == 0
+
+    def test_budget_recovers_next_epoch(self):
+        tracker = DapperTracker(self.params())
+        tracker.observe(0, 5, 45, 0, 0)
+        tracker.observe(0, 5, 10, 1, 0)
+        assert tracker.budget_left(0, 1) == 1
+        assert tracker.mitigations == 3
+
+    def test_sram_accounts_for_budget_register(self):
+        assert tracker_bits(self.params()) > tracker_bits(
+            self.params(), budgetless=True)
+
+
+def tracker_bits(params, budgetless=False):
+    bits = DapperTracker(params).sram_bits()
+    if budgetless:
+        bits -= max(1, params.mitigation_budget.bit_length())
+    return bits
+
+
+class TestInstalledDefenses:
+    ZOO = ("chiptrr", "para", "misra_gries", "ptmp", "dapper")
+
+    @pytest.mark.parametrize("name", ZOO)
+    def test_defense_subscribes_one_tracker(self, name):
+        m = Machine(machine="tiny", defense=name)
+        trackers = m.kernel.dram.feed.trackers()
+        assert [t.name for t in trackers] == [name]
+        assert m.kernel.dram.feed.active
+
+    def test_vanilla_machine_has_inactive_feed(self):
+        m = Machine(machine="tiny")
+        assert not m.kernel.dram.feed.active
+
+    @pytest.mark.parametrize("name", ZOO)
+    def test_registry_resolves_zoo(self, name):
+        assert DEFENSES[name]().name == name
+
+    def test_unknown_defense_lists_catalogue(self):
+        with pytest.raises(KeyError, match="para"):
+            DEFENSES["definitely-not-a-defense"]
+
+    def test_reregistration_replaces_by_name(self):
+        original = DEFENSES["para"]
+
+        @register_defense
+        class Impostor(Defense):
+            name = "para"
+            summary = "test stand-in"
+
+        try:
+            assert DEFENSES["para"] is Impostor
+        finally:
+            register_defense(original)
+        assert DEFENSES["para"] is original
+
+    def test_register_rejects_abstract_name(self):
+        with pytest.raises(ValueError):
+            register_defense(Defense)

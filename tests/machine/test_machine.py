@@ -147,8 +147,12 @@ class TestTelemetry:
         with pytest.raises(KeyError):
             m.telemetry.counter("no.such.counter")
 
-    def test_counters_shim_warns_but_matches(self):
-        m = Machine(machine="tiny")
-        with pytest.warns(DeprecationWarning, match="telemetry"):
-            legacy = m.counters()
-        assert legacy == m.telemetry.as_flat_dict()
+    def test_legacy_counters_shim_is_gone(self):
+        assert not hasattr(Machine(machine="tiny"), "counters")
+
+    def test_tracker_layer_appears_when_defense_subscribes(self):
+        m = Machine(machine="tiny", defense="para")
+        flat = m.telemetry.as_flat_dict()
+        assert flat["tracker.0.para.triggers"] == 0
+        assert flat["tracker.0.para.sram_bits"] == 0
+        assert flat["actuator.refreshes"] == 0

@@ -50,7 +50,20 @@ MODES = (
     ("dense/batch", True, True),
 )
 
-_SOFTTRR_PARAMS = {"timer_inr_ns": 50_000}
+#: Tiny-machine-scaled parameters per defense, tuned so the policies
+#: actually fire inside generative programs (a few thousand ACTs per
+#: aggressor at most).  Defenses absent here run with their defaults.
+DEFENSE_PARAMS = {
+    "softtrr": {"timer_inr_ns": 50_000},
+    "chiptrr": {"tracker_slots": 2, "trr_threshold": 60,
+                "refresh_distance": 3},
+    "para": {"probability": 0.05},
+    "misra_gries": {"table_entries": 4, "threshold": 60},
+    "ptmp": {"table_entries": 4, "threshold": 60,
+             "insert_probability": 0.25},
+    "dapper": {"table_entries": 4, "threshold": 60,
+               "mitigation_budget": 3},
+}
 
 
 @lru_cache(maxsize=None)
@@ -171,7 +184,7 @@ def run_program(program, *, dense: bool, batched: bool,
     config = MachineConfig(
         machine="tiny", dense=dense, batch=batched,
         sanitize=True, strict_sanitizers=True, defense=defense,
-        defense_params=_SOFTTRR_PARAMS if defense == "softtrr" else {},
+        defense_params=DEFENSE_PARAMS.get(defense, {}),
         fault_plan=fault_plan)
     machine = Machine(config)
     dram = machine.dram

@@ -8,6 +8,7 @@ and an active FaultPlan, plus unit coverage for the shrinker itself.
 
 import pytest
 
+from repro.defenses import DEFENSES
 from repro.faults import FaultPlan, FaultSpec
 
 from .generative import (
@@ -23,6 +24,14 @@ from .generative import (
 PLAIN_SEEDS = range(220)
 CHAOS_SEEDS = range(1000, 1040)
 CHUNK = 10
+
+#: Every registry defense rides a smaller band; the feed trackers also
+#: get a fault-plan band (their mitigation path shares the refresher's
+#: failure surface through the actuator).
+ALL_DEFENSES = sorted(DEFENSES)
+TRACKER_DEFENSES = ("chiptrr", "para", "misra_gries", "ptmp", "dapper")
+DEFENSE_SEEDS = range(12)
+TRACKER_CHAOS_SEEDS = range(1000, 1012)
 
 CHAOS_PLAN = FaultPlan(specs=(
     FaultSpec(site="timers", mode="drop", probability=0.3),
@@ -48,6 +57,28 @@ class TestGenerativeDifferential:
     def test_four_way_equivalence_under_faults(self, seeds):
         for seed in seeds:
             check_seed(seed, defense="softtrr", fault_plan=CHAOS_PLAN)
+
+    @pytest.mark.parametrize("defense", ALL_DEFENSES)
+    def test_four_way_equivalence_per_defense(self, defense):
+        for seed in DEFENSE_SEEDS:
+            check_seed(seed, defense=defense)
+
+    @pytest.mark.parametrize("defense", TRACKER_DEFENSES)
+    def test_four_way_equivalence_trackers_under_faults(self, defense):
+        for seed in TRACKER_CHAOS_SEEDS:
+            check_seed(seed, defense=defense, fault_plan=CHAOS_PLAN)
+
+    @pytest.mark.parametrize("defense", TRACKER_DEFENSES)
+    def test_tracker_band_actually_actuates(self, defense):
+        # At least one program per tracker must trigger refreshes, or
+        # the per-defense equivalence band would be vacuous for the
+        # policy under test.
+        for seed in DEFENSE_SEEDS:
+            result = run_program(generate_program(seed), dense=True,
+                                 batched=True, defense=defense)
+            if result["telemetry"]["actuator.refreshes"] > 0:
+                return
+        pytest.fail(f"no seed made the {defense} tracker actuate")
 
     def test_chaos_band_actually_injects_faults(self):
         # At least one chaos program must draw injected faults, or the
