@@ -399,8 +399,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     }
     text = json.dumps(report, sort_keys=True, indent=2) + "\n"
     if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write(text)
+        cli_common.atomic_write_text(args.out, text)
         print(f"[{len(results)} zoo cells -> {args.out}]")
     else:
         sys.stdout.write(text)

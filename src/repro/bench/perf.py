@@ -259,9 +259,8 @@ def main(argv: Optional[list] = None) -> int:
     args = parser.parse_args(argv)
     payload = run_benchmarks(quick=args.quick)
     print(_render(payload))
-    with open(args.out, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    cli_common.atomic_write_text(
+        args.out, json.dumps(payload, indent=2) + "\n")
     print(f"[saved to {args.out}]")
     if not args.check:
         return cli_common.EXIT_OK

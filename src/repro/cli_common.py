@@ -18,11 +18,20 @@ Canonical flags (each CLI opts in to the subset it needs):
 Exit codes: ``EXIT_OK`` (0) success, ``EXIT_CHECK_FAILED`` (1) a
 ``--check`` gate or the tool's own validation failed,
 ``EXIT_USAGE`` (2) bad invocation (argparse's own convention).
+
+This module also owns :func:`atomic_write_text`/:func:`atomic_write_json`,
+the one sanctioned way to write a JSON/JSONL artifact: write-temp +
+``os.replace`` in the destination directory, so a SIGKILL mid-write can
+never leave a torn file behind — readers observe either the old
+artifact or the new one, nothing in between.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
+import tempfile
 from typing import Optional
 
 __all__ = [
@@ -34,6 +43,8 @@ __all__ = [
     "add_json_option",
     "add_out_option",
     "add_seed_option",
+    "atomic_write_json",
+    "atomic_write_text",
     "build_parser",
 ]
 
@@ -92,3 +103,38 @@ def add_out_option(parser: argparse.ArgumentParser,
         help=help_text or (
             f"write results to PATH (default {default})" if default
             else "write results to PATH"))
+
+
+def atomic_write_text(path, text: str, encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` atomically (write-temp + ``os.replace``).
+
+    The temp file lives in the destination directory so the final
+    rename never crosses a filesystem boundary; the content is flushed
+    and fsynced before the rename, so after a crash the path holds
+    either the complete old artifact or the complete new one — never a
+    prefix.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path, payload, *, sort_keys: bool = True,
+                      indent: Optional[int] = 2) -> None:
+    """Canonical-JSON convenience over :func:`atomic_write_text`."""
+    atomic_write_text(
+        path,
+        json.dumps(payload, sort_keys=sort_keys, indent=indent) + "\n")

@@ -1,0 +1,247 @@
+"""Crash-tolerant fleet state on disk: manifest + per-shard JSONL.
+
+Layout of an ``experiment_result_dir``::
+
+    fleet.json            the manifest: spec + expanded cell list
+    shards/shard-NNN.jsonl  append-only completed-cell records
+    report.json           the aggregate report (``repro-fleet report``)
+
+Durability contract:
+
+* ``fleet.json`` and ``report.json`` are written atomically
+  (:func:`repro.cli_common.atomic_write_text`), so a SIGKILL can never
+  tear them.
+* Shard files are *append-only*: one JSON line per finished cell
+  (completed or quarantined), flushed and fsynced per record.  The
+  appends **are** the checkpoint — there is no separate progress file
+  to get out of sync.
+* A kill mid-append leaves at most one torn trailing line per shard.
+  The loader skips unparseable lines (counting them), and
+  :meth:`ResultDir.repair_shards` terminates a torn tail with a
+  newline before new appends, so the garbage stays isolated on its own
+  line forever and the cell simply re-runs.
+* Records never contain wall-clock data, which is what makes a resumed
+  fleet's aggregate report byte-identical to an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, IO, List, Mapping, Optional
+
+from ..cli_common import atomic_write_text
+from ..errors import ConfigError
+from .spec import FleetCell, FleetSpec
+
+__all__ = ["MANIFEST_NAME", "REPORT_NAME", "ResultDir"]
+
+MANIFEST_NAME = "fleet.json"
+REPORT_NAME = "report.json"
+_SHARD_DIR = "shards"
+_MANIFEST_VERSION = 1
+
+
+def _canonical_json(payload) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class ResultDir:
+    """One fleet's ``experiment_result_dir`` (manifest + shards)."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.fspath(root)
+        self._handles: Dict[int, IO[str]] = {}
+
+    # ------------------------------------------------------------ paths
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.root, MANIFEST_NAME)
+
+    @property
+    def report_path(self) -> str:
+        return os.path.join(self.root, REPORT_NAME)
+
+    def shard_path(self, shard: int) -> str:
+        return os.path.join(self.root, _SHARD_DIR, f"shard-{shard:03d}.jsonl")
+
+    def exists(self) -> bool:
+        return os.path.exists(self.manifest_path)
+
+    # --------------------------------------------------------- manifest
+    def initialise(self, spec: FleetSpec, cells: List[FleetCell]) -> None:
+        """Create the dir and write the manifest (atomic; run once)."""
+        os.makedirs(os.path.join(self.root, _SHARD_DIR), exist_ok=True)
+        if self.exists():
+            raise ConfigError(
+                f"{self.root} already holds a fleet manifest; use resume "
+                "(or pick a fresh --out directory)")
+        manifest = {
+            "version": _MANIFEST_VERSION,
+            "spec": spec.to_dict(),
+            "cells": [cell.to_dict() for cell in cells],
+        }
+        atomic_write_text(
+            self.manifest_path,
+            json.dumps(manifest, sort_keys=True, indent=2) + "\n")
+
+    def load_manifest(self) -> Dict[str, object]:
+        """The manifest dict (raises ConfigError when absent/corrupt)."""
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError:
+            raise ConfigError(
+                f"{self.root} holds no fleet manifest "
+                f"({MANIFEST_NAME}); run a fleet first") from None
+        except json.JSONDecodeError as exc:
+            raise ConfigError(
+                f"corrupt fleet manifest {self.manifest_path}: {exc}"
+            ) from None
+        if manifest.get("version") != _MANIFEST_VERSION:
+            raise ConfigError(
+                f"fleet manifest version {manifest.get('version')!r} is "
+                f"not {_MANIFEST_VERSION}")
+        return manifest
+
+    def load_spec(self) -> FleetSpec:
+        return FleetSpec.from_dict(self.load_manifest()["spec"])
+
+    def load_cells(self) -> List[FleetCell]:
+        return [FleetCell.from_dict(cell)
+                for cell in self.load_manifest()["cells"]]
+
+    def verify_expansion(self) -> List[FleetCell]:
+        """Manifest cells, checked against a fresh spec expansion.
+
+        Resume re-expands the stored spec and demands the same cell ids
+        in the same order — a manifest that disagrees with its own spec
+        (hand-edited, mixed fleet versions) must not silently resume.
+        """
+        manifest_cells = self.load_cells()
+        expanded = self.load_spec().expand()
+        if ([c.cell_id for c in manifest_cells]
+                != [c.cell_id for c in expanded]):
+            raise ConfigError(
+                f"{self.root}: manifest cells disagree with the spec "
+                "expansion; the result dir is corrupt")
+        return manifest_cells
+
+    # ----------------------------------------------------------- records
+    def append_record(self, record: Mapping) -> None:
+        """Append one completed-cell record to its shard (fsynced).
+
+        The record must carry ``shard`` and ``cell_id``; the line is
+        canonical JSON so identical outcomes are identical bytes.
+        """
+        shard = int(record["shard"])
+        handle = self._handles.get(shard)
+        if handle is None:
+            path = self.shard_path(shard)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            handle = open(path, "a", encoding="utf-8")
+            self._handles[shard] = handle
+        handle.write(_canonical_json(dict(record)) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def close(self) -> None:
+        """Close any shard append handles."""
+        for handle in self._handles.values():
+            handle.close()
+        self._handles.clear()
+
+    def __enter__(self) -> "ResultDir":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def repair_shards(self) -> int:
+        """Terminate torn shard tails with a newline; returns the count.
+
+        Called before resuming appends: a shard whose last byte is not
+        ``\\n`` was torn by a kill mid-append, and appending straight
+        after it would concatenate a fresh record onto the garbage.
+        """
+        repaired = 0
+        shard_dir = os.path.join(self.root, _SHARD_DIR)
+        if not os.path.isdir(shard_dir):
+            return 0
+        for name in sorted(os.listdir(shard_dir)):
+            if not name.endswith(".jsonl"):
+                continue
+            path = os.path.join(shard_dir, name)
+            with open(path, "rb+") as handle:
+                handle.seek(0, os.SEEK_END)
+                size = handle.tell()
+                if size == 0:
+                    continue
+                handle.seek(size - 1)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                    repaired += 1
+        return repaired
+
+    def load_records(self) -> Dict[str, dict]:
+        """All parseable records, keyed by cell id (first write wins).
+
+        Unparseable lines (torn tails from a kill) and duplicate cell
+        ids (a cell re-run after a kill landed between append and
+        death) are tolerated; the counts are reported via
+        :meth:`scan`.
+        """
+        return self.scan()["records"]
+
+    def scan(self) -> Dict[str, object]:
+        """Records plus integrity counters for status reporting."""
+        records: Dict[str, dict] = {}
+        torn_lines = 0
+        duplicates = 0
+        shard_dir = os.path.join(self.root, _SHARD_DIR)
+        names = (sorted(os.listdir(shard_dir))
+                 if os.path.isdir(shard_dir) else [])
+        for name in names:
+            if not name.endswith(".jsonl"):
+                continue
+            with open(os.path.join(shard_dir, name), "r",
+                      encoding="utf-8", errors="replace") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        torn_lines += 1
+                        continue
+                    cell_id = record.get("cell_id")
+                    if not isinstance(cell_id, str):
+                        torn_lines += 1
+                        continue
+                    if cell_id in records:
+                        duplicates += 1
+                        continue
+                    records[cell_id] = record
+        return {
+            "records": records,
+            "torn_lines": torn_lines,
+            "duplicates": duplicates,
+        }
+
+    # ------------------------------------------------------------ report
+    def write_report(self, report: Mapping) -> str:
+        """Atomically write ``report.json``; returns its path."""
+        atomic_write_text(
+            self.report_path,
+            json.dumps(report, sort_keys=True, indent=2) + "\n")
+        return self.report_path
+
+    def read_report(self) -> Optional[dict]:
+        try:
+            with open(self.report_path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None

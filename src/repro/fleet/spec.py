@@ -1,0 +1,284 @@
+"""Fleet data model: the experiment cross product as plain data.
+
+A :class:`FleetSpec` names four axes — scenarios x seeds x defenses x
+fault plans — plus the cell runner and the supervisor's robustness
+knobs (shard count, per-cell timeout, retry budget, backoff).  It
+expands deterministically into a stably-ordered list of
+:class:`FleetCell` records, each with a content-hashed ``cell_id``:
+two processes expanding the same spec agree on every cell, its id and
+its shard, which is what makes a killed fleet resumable — the manifest
+and the re-expanded spec must name the same work.
+
+Axis semantics per cell runner:
+
+* ``"scenario"`` — the scenarios axis holds registered scenario names
+  (:mod:`repro.scenarios.registry`); the defense/seed/fault-plan axes
+  override the named spec's fields (seed and fault plan travel through
+  ``params`` and are honoured by the scenario runner's machine
+  assembly).
+* ``"window"`` — the scenarios axis holds hammer pattern names
+  (``one_sided``/``double_sided``/``many_sided``/``spray``); each cell
+  is a protection-window bench on a fresh machine (flips, refresh
+  overhead, windows covered, span histograms).
+* ``"synthetic"`` — any names; cells are hash-derived payloads used by
+  the fleet's own tests and CI smoke (poison/flaky/hang injection via
+  ``runner_params``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+
+__all__ = [
+    "CELL_RUNNERS",
+    "FleetCell",
+    "FleetSpec",
+    "cell_id_of",
+    "expand_cells",
+    "shard_of",
+]
+
+#: Cell runners the fleet supervisor knows how to drive
+#: (implementations live in :mod:`repro.fleet.runners`).
+CELL_RUNNERS = ("scenario", "window", "synthetic")
+
+
+def _canonical(payload) -> str:
+    """Canonical JSON — the hashing and comparison form."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def cell_id_of(scenario: str, seed: Optional[int],
+               defense: Optional[str], defense_params: Mapping,
+               fault_plan: Optional[Mapping]) -> str:
+    """Content-hashed cell identity (stable across processes/runs)."""
+    digest = hashlib.sha256(_canonical({
+        "scenario": scenario,
+        "seed": seed,
+        "defense": defense,
+        "defense_params": dict(defense_params or {}),
+        "fault_plan": dict(fault_plan) if fault_plan else None,
+    }).encode("utf-8")).hexdigest()
+    return digest[:16]
+
+
+def shard_of(cell_id: str, shards: int) -> int:
+    """Deterministic shard assignment by cell id."""
+    if shards < 1:
+        raise ConfigError("shards must be >= 1")
+    return int(cell_id, 16) % shards
+
+
+@dataclass(frozen=True)
+class FleetCell:
+    """One expanded experiment cell (a point of the cross product)."""
+
+    index: int
+    cell_id: str
+    scenario: str
+    seed: Optional[int]
+    defense: Optional[str]
+    defense_params: Mapping
+    fault_plan: Optional[Mapping]
+    shard: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "defense_params",
+                           dict(self.defense_params or {}))
+        if self.fault_plan is not None:
+            object.__setattr__(self, "fault_plan", dict(self.fault_plan))
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-stable; the manifest/queue format)."""
+        return {
+            "index": self.index,
+            "cell_id": self.cell_id,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "defense": self.defense,
+            "defense_params": dict(self.defense_params),
+            "fault_plan": (dict(self.fault_plan)
+                           if self.fault_plan else None),
+            "shard": self.shard,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "FleetCell":
+        return cls(**{key: payload[key] for key in (
+            "index", "cell_id", "scenario", "seed", "defense",
+            "defense_params", "fault_plan", "shard")})
+
+    def label(self) -> str:
+        """Short human-readable tag for logs and the failure ledger."""
+        parts = [self.scenario]
+        if self.seed is not None:
+            parts.append(f"seed={self.seed}")
+        if self.defense is not None:
+            parts.append(self.defense)
+        if self.fault_plan:
+            parts.append("faulted")
+        return " ".join(parts)
+
+
+def _coerce_defense(entry) -> Dict[str, object]:
+    """A defenses-axis entry as ``{"name":..., "params": {...}}``."""
+    if entry is None:
+        return {"name": None, "params": {}}
+    if isinstance(entry, str):
+        return {"name": entry, "params": {}}
+    if isinstance(entry, Mapping):
+        name = entry.get("name")
+        if not isinstance(name, str) or not name:
+            raise ConfigError(
+                f"defense axis entry {entry!r} needs a 'name' string")
+        return {"name": name, "params": dict(entry.get("params", {}))}
+    raise ConfigError(
+        f"cannot read a defense axis entry from {type(entry).__name__}")
+
+
+def _coerce_fault_plan(entry) -> Optional[Dict[str, object]]:
+    """A fault-plans-axis entry as a FaultPlan dict (or ``None``)."""
+    if entry is None:
+        return None
+    from ..faults import FaultPlan
+
+    return FaultPlan.coerce(entry).to_dict()
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """The whole fleet as data: axes + runner + robustness knobs.
+
+    ``scenarios`` is the only mandatory axis; an empty ``seeds`` /
+    ``defenses`` / ``fault_plans`` axis contributes a single neutral
+    point (``None`` — keep the scenario's own seed/defense, no fault
+    plan), so the expansion is always the full cross product.
+    """
+
+    scenarios: Tuple[str, ...]
+    seeds: Tuple[Optional[int], ...] = ()
+    defenses: Tuple[Mapping, ...] = ()
+    fault_plans: Tuple[Optional[Mapping], ...] = ()
+    runner: str = "scenario"
+    runner_params: Mapping = field(default_factory=dict)
+    shards: int = 4
+    timeout_s: float = 120.0
+    max_attempts: int = 3
+    backoff_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise ConfigError("a fleet needs at least one scenario")
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        object.__setattr__(
+            self, "seeds",
+            tuple(None if seed is None else int(seed)
+                  for seed in self.seeds))
+        object.__setattr__(
+            self, "defenses",
+            tuple(_coerce_defense(entry) for entry in self.defenses))
+        object.__setattr__(
+            self, "fault_plans",
+            tuple(_coerce_fault_plan(entry) for entry in self.fault_plans))
+        object.__setattr__(self, "runner_params", dict(self.runner_params))
+        if self.runner not in CELL_RUNNERS:
+            raise ConfigError(
+                f"unknown cell runner {self.runner!r}; known: "
+                f"{CELL_RUNNERS}")
+        if self.shards < 1:
+            raise ConfigError("shards must be >= 1")
+        if self.timeout_s <= 0:
+            raise ConfigError("timeout_s must be positive")
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+        if self.backoff_s < 0:
+            raise ConfigError("backoff_s must be >= 0")
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-stable; stored in the manifest)."""
+        return {
+            "scenarios": list(self.scenarios),
+            "seeds": list(self.seeds),
+            "defenses": [dict(entry) for entry in self.defenses],
+            "fault_plans": [dict(plan) if plan else None
+                            for plan in self.fault_plans],
+            "runner": self.runner,
+            "runner_params": dict(self.runner_params),
+            "shards": self.shards,
+            "timeout_s": self.timeout_s,
+            "max_attempts": self.max_attempts,
+            "backoff_s": self.backoff_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "FleetSpec":
+        known = {f: payload[f] for f in (
+            "scenarios", "seeds", "defenses", "fault_plans", "runner",
+            "runner_params", "shards", "timeout_s", "max_attempts",
+            "backoff_s") if f in payload}
+        if "scenarios" not in known:
+            raise ConfigError("fleet spec needs a 'scenarios' axis")
+        return cls(**known)
+
+    def validate_names(self) -> None:
+        """Check the scenarios axis against the runner's namespace."""
+        if self.runner == "scenario":
+            from ..scenarios.registry import scenario
+
+            for name in self.scenarios:
+                scenario(name)  # raises ConfigError on unknown names
+        elif self.runner == "window":
+            from .runners import WINDOW_PATTERNS
+
+            for name in self.scenarios:
+                if name not in WINDOW_PATTERNS:
+                    raise ConfigError(
+                        f"unknown window pattern {name!r}; known: "
+                        f"{WINDOW_PATTERNS}")
+
+    def expand(self) -> List[FleetCell]:
+        """The deterministic, stably-ordered cell list."""
+        return expand_cells(self)
+
+
+def expand_cells(spec: FleetSpec) -> List[FleetCell]:
+    """Cross the axes into cells: scenario-major, stable order.
+
+    Empty optional axes contribute one neutral point each, so the cell
+    count is ``len(scenarios) x max(1, len(seeds)) x
+    max(1, len(defenses)) x max(1, len(fault_plans))``.
+    """
+    seeds: Sequence[Optional[int]] = spec.seeds or (None,)
+    defenses: Sequence[Optional[Mapping]] = spec.defenses or (None,)
+    fault_plans: Sequence[Optional[Mapping]] = spec.fault_plans or (None,)
+    cells: List[FleetCell] = []
+    seen: Dict[str, str] = {}
+    for scenario_name in spec.scenarios:
+        for seed in seeds:
+            for defense in defenses:
+                name = None if defense is None else defense["name"]
+                params = {} if defense is None else defense["params"]
+                for plan in fault_plans:
+                    cell_id = cell_id_of(
+                        scenario_name, seed, name, params, plan)
+                    if cell_id in seen:
+                        raise ConfigError(
+                            f"duplicate fleet cell {cell_id} "
+                            f"({seen[cell_id]}): axes repeat a point")
+                    seen[cell_id] = scenario_name
+                    cells.append(FleetCell(
+                        index=len(cells),
+                        cell_id=cell_id,
+                        scenario=scenario_name,
+                        seed=seed,
+                        defense=name,
+                        defense_params=params,
+                        fault_plan=plan,
+                        shard=shard_of(cell_id, spec.shards),
+                    ))
+    return cells

@@ -1,0 +1,321 @@
+"""The fleet supervisor: work-stealing pool + timeout/retry/quarantine.
+
+The supervisor is the only process that touches the result dir.  It
+feeds cell work items into one shared queue (idle workers pull the
+next available cell — work-stealing without a scheduler), watches a
+per-cell wall-clock deadline from the moment a worker announces the
+cell, and finalises every cell exactly once:
+
+* a completed cell is appended to its shard JSONL immediately
+  (flush + fsync — the append *is* the checkpoint);
+* a failing cell is retried with exponential backoff
+  (``backoff_s * 2^(attempt-1)``) up to ``max_attempts``;
+* a cell that exhausts its budget is **quarantined**: recorded as a
+  structured failure and the fleet keeps going — graceful
+  degradation, never sink the run;
+* a hung cell is killed (the worker is terminated and replaced) and
+  treated as one failed attempt.
+
+Wall-clock time in this module is deliberate and lint-sanctioned: the
+supervisor operates in the *host* time domain (timeouts, backoff) and
+none of it ever reaches a record — records are pure functions of the
+cell, which is what makes a killed fleet resume byte-identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import os
+import queue as queue_mod
+import time
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..errors import ConfigError
+from .checkpoint import ResultDir
+from .runners import run_fleet_cell
+from .spec import FleetCell, FleetSpec
+
+__all__ = ["FleetSummary", "resume_fleet", "run_fleet"]
+
+#: Supervisor poll interval while waiting on worker results (seconds).
+_POLL_S = 0.02
+
+FleetSummary = Dict[str, object]
+_Progress = Optional[Callable[[Mapping], None]]
+
+
+def _worker_main(spec_dict: dict, work_q, result_q) -> None:
+    """Worker loop: pull cells until the ``None`` sentinel arrives."""
+    spec = FleetSpec.from_dict(spec_dict)
+    pid = os.getpid()
+    while True:
+        item = work_q.get()
+        if item is None:
+            break
+        cell = item["cell"]
+        attempt = item["attempt"]
+        result_q.put(("started", pid, cell["cell_id"], attempt, None))
+        try:
+            payload = run_fleet_cell(
+                cell, spec.runner, spec.runner_params, attempt)
+        except Exception as exc:  # noqa: BLE001 — the worker boundary
+            result_q.put(("failed", pid, cell["cell_id"], attempt, {
+                "type": type(exc).__name__,
+                "message": str(exc)[:200],
+            }))
+        else:
+            result_q.put(("ok", pid, cell["cell_id"], attempt, payload))
+
+
+def run_fleet(spec: FleetSpec, out_dir: str, jobs: int = 1,
+              progress: _Progress = None) -> FleetSummary:
+    """Expand ``spec``, initialise ``out_dir`` and drive every cell."""
+    spec.validate_names()
+    cells = spec.expand()
+    result_dir = ResultDir(out_dir)
+    result_dir.initialise(spec, cells)
+    return _drive(result_dir, spec, cells, {}, jobs, progress)
+
+
+def resume_fleet(out_dir: str, jobs: int = 1,
+                 progress: _Progress = None) -> FleetSummary:
+    """Pick a killed fleet back up from its manifest and shards."""
+    result_dir = ResultDir(out_dir)
+    cells = result_dir.verify_expansion()
+    spec = result_dir.load_spec()
+    repaired = result_dir.repair_shards()
+    done = result_dir.load_records()
+    summary = _drive(result_dir, spec, cells, done, jobs, progress)
+    summary["repaired_shard_tails"] = repaired
+    return summary
+
+
+def _drive(result_dir: ResultDir, spec: FleetSpec,
+           cells: List[FleetCell], done: Dict[str, dict], jobs: int,
+           progress: _Progress) -> FleetSummary:
+    if jobs < 1:
+        raise ConfigError("jobs must be >= 1")
+    pending = [cell for cell in cells if cell.cell_id not in done]
+    summary: FleetSummary = {
+        "cells": len(cells),
+        "already_done": len(cells) - len(pending),
+        "ran": 0,
+        "ok": 0,
+        "quarantined": 0,
+        "retries": 0,
+        "timeouts": 0,
+        "worker_deaths": 0,
+    }
+    if not pending:
+        result_dir.close()
+        return summary
+    with result_dir:
+        _Supervisor(result_dir, spec, pending, jobs, progress,
+                    summary).run()
+    return summary
+
+
+class _Supervisor:
+    """One fleet drive: owns the pool, the deadlines and the ledger."""
+
+    def __init__(self, result_dir: ResultDir, spec: FleetSpec,
+                 pending: List[FleetCell], jobs: int,
+                 progress: _Progress, summary: FleetSummary) -> None:
+        self.result_dir = result_dir
+        self.spec = spec
+        self.spec_dict = spec.to_dict()
+        self.progress = progress
+        self.summary = summary
+        self.cells = {cell.cell_id: cell for cell in pending}
+        self.outstanding = len(pending)
+        self.finalized: set = set()
+        #: attempts already *dispatched* per cell id.
+        self.attempts: Dict[str, int] = {}
+        #: pid -> (cell_id, attempt, wall deadline).
+        self.in_flight: Dict[int, Tuple[str, int, float]] = {}
+        #: (due, sequence, cell_id) retry heap.
+        self.retries: List[Tuple[float, int, str]] = []
+        self._retry_seq = 0
+        self.jobs = max(1, min(jobs, len(pending)))
+        ctx = multiprocessing.get_context()
+        self.work_q = ctx.Queue()
+        self.result_q = ctx.Queue()
+        self.workers: Dict[int, multiprocessing.process.BaseProcess] = {}
+        self._ctx = ctx
+
+    # ----------------------------------------------------------- control
+    def run(self) -> None:
+        for cell in self.cells.values():
+            self._dispatch(cell.cell_id)
+        for _ in range(self.jobs):
+            self._spawn_worker()
+        try:
+            while self.outstanding > 0:
+                self._pump_retries()
+                self._pump_results()
+                self._reap_timeouts()
+                self._reap_dead_workers()
+        finally:
+            self._shutdown()
+
+    def _spawn_worker(self) -> None:
+        worker = self._ctx.Process(
+            target=_worker_main,
+            args=(self.spec_dict, self.work_q, self.result_q),
+            daemon=True,
+        )
+        worker.start()
+        self.workers[worker.pid] = worker
+
+    def _shutdown(self) -> None:
+        for _ in self.workers:
+            self.work_q.put(None)
+        deadline = time.monotonic() + 5.0
+        for worker in self.workers.values():
+            worker.join(timeout=max(0.0, deadline - time.monotonic()))
+            if worker.is_alive():
+                worker.terminate()
+                worker.join(timeout=1.0)
+        self.work_q.close()
+        self.result_q.close()
+
+    # ---------------------------------------------------------- dispatch
+    def _dispatch(self, cell_id: str) -> None:
+        attempt = self.attempts.get(cell_id, 0) + 1
+        self.attempts[cell_id] = attempt
+        self.work_q.put({
+            "cell": self.cells[cell_id].to_dict(),
+            "attempt": attempt,
+        })
+
+    def _pump_retries(self) -> None:
+        now = time.monotonic()
+        while self.retries and self.retries[0][0] <= now:
+            _, _, cell_id = heapq.heappop(self.retries)
+            if cell_id in self.finalized:
+                continue
+            self._dispatch(cell_id)
+
+    # ----------------------------------------------------------- results
+    def _pump_results(self) -> None:
+        try:
+            kind, pid, cell_id, attempt, extra = self.result_q.get(
+                timeout=_POLL_S)
+        except queue_mod.Empty:
+            return
+        if kind == "started":
+            if cell_id in self.finalized:
+                # A stale duplicate dispatch (late result raced a
+                # retry); let it run, its result will be ignored.
+                return
+            self.in_flight[pid] = (
+                cell_id, attempt,
+                time.monotonic() + self.spec.timeout_s)
+            return
+        self.in_flight.pop(pid, None)
+        if cell_id in self.finalized:
+            return
+        if kind == "ok":
+            self._finalize_ok(cell_id, attempt, extra)
+        else:
+            self._attempt_failed(cell_id, attempt, extra)
+
+    def _reap_timeouts(self) -> None:
+        now = time.monotonic()
+        expired = [(pid, entry) for pid, entry in self.in_flight.items()
+                   if entry[2] <= now]
+        for pid, (cell_id, attempt, _) in expired:
+            del self.in_flight[pid]
+            self._kill_worker(pid)
+            self.summary["timeouts"] = int(self.summary["timeouts"]) + 1
+            if cell_id not in self.finalized:
+                self._attempt_failed(cell_id, attempt, {
+                    "type": "CellTimeout",
+                    "message": (f"exceeded the {self.spec.timeout_s}s "
+                                "per-cell wall-clock budget"),
+                })
+            self._spawn_worker()
+
+    def _reap_dead_workers(self) -> None:
+        dead = [pid for pid, worker in self.workers.items()
+                if not worker.is_alive()]
+        for pid in dead:
+            self.workers.pop(pid).join(timeout=0.1)
+            entry = self.in_flight.pop(pid, None)
+            self.summary["worker_deaths"] = (
+                int(self.summary["worker_deaths"]) + 1)
+            if entry is not None:
+                cell_id, attempt, _ = entry
+                if cell_id not in self.finalized:
+                    self._attempt_failed(cell_id, attempt, {
+                        "type": "WorkerDied",
+                        "message": "worker process died mid-cell",
+                    })
+            if self.outstanding > 0:
+                self._spawn_worker()
+
+    def _kill_worker(self, pid: int) -> None:
+        worker = self.workers.pop(pid, None)
+        if worker is None:
+            return
+        worker.terminate()
+        worker.join(timeout=2.0)
+        if worker.is_alive():
+            worker.kill()
+            worker.join(timeout=1.0)
+
+    # ---------------------------------------------------------- finalise
+    def _record_base(self, cell_id: str, attempts: int) -> dict:
+        cell = self.cells[cell_id]
+        return {
+            "cell_id": cell.cell_id,
+            "index": cell.index,
+            "shard": cell.shard,
+            "scenario": cell.scenario,
+            "seed": cell.seed,
+            "defense": cell.defense,
+            "attempts": attempts,
+        }
+
+    def _finalize_ok(self, cell_id: str, attempt: int,
+                     payload: Mapping) -> None:
+        record = self._record_base(cell_id, attempt)
+        record["status"] = "ok"
+        record["payload"] = payload
+        self._finalize(cell_id, record)
+        self.summary["ok"] = int(self.summary["ok"]) + 1
+
+    def _attempt_failed(self, cell_id: str, attempt: int,
+                        error: Mapping) -> None:
+        if attempt < self.spec.max_attempts:
+            self.summary["retries"] = int(self.summary["retries"]) + 1
+            delay = self.spec.backoff_s * (2 ** (attempt - 1))
+            self._retry_seq += 1
+            heapq.heappush(
+                self.retries,
+                (time.monotonic() + delay, self._retry_seq, cell_id))
+            self._emit({"event": "retry", "cell_id": cell_id,
+                        "attempt": attempt, "error": dict(error),
+                        "delay_s": delay})
+            return
+        record = self._record_base(cell_id, attempt)
+        record["status"] = "quarantined"
+        record["error"] = dict(error)
+        self._finalize(cell_id, record)
+        self.summary["quarantined"] = (
+            int(self.summary["quarantined"]) + 1)
+
+    def _finalize(self, cell_id: str, record: dict) -> None:
+        self.result_dir.append_record(record)
+        self.finalized.add(cell_id)
+        self.outstanding -= 1
+        self.summary["ran"] = int(self.summary["ran"]) + 1
+        self._emit({"event": record["status"], "cell_id": cell_id,
+                    "attempts": record["attempts"],
+                    "done": len(self.finalized),
+                    "total": len(self.cells)})
+
+    def _emit(self, event: Mapping) -> None:
+        if self.progress is not None:
+            self.progress(event)

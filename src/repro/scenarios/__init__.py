@@ -7,7 +7,7 @@ byte-identical merged output (the ``repro-sweep`` CLI).
 """
 
 from .registry import SCENARIOS, list_groups, scenario, scenario_group
-from .runner import run_scenario, run_sweep
+from .runner import run_scenario, run_scenario_guarded, run_sweep
 from .spec import KINDS, ScenarioResult, ScenarioSpec, results_to_json
 
 __all__ = [
@@ -18,6 +18,7 @@ __all__ = [
     "list_groups",
     "results_to_json",
     "run_scenario",
+    "run_scenario_guarded",
     "run_sweep",
     "scenario",
     "scenario_group",

@@ -81,8 +81,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cli_common.EXIT_USAGE
     text = results_to_json(results)
     if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write(text)
+        cli_common.atomic_write_text(args.out, text)
         print(f"[{len(results)} scenarios -> {args.out}]")
     else:
         sys.stdout.write(text)

@@ -19,7 +19,7 @@ from ..errors import AttackError, ConfigError, DefenseError, TemplatingError
 from ..machine import Machine, MachineConfig, build_defense
 from .spec import ScenarioResult, ScenarioSpec
 
-__all__ = ["run_scenario", "run_sweep"]
+__all__ = ["run_scenario", "run_scenario_guarded", "run_sweep"]
 
 
 # ------------------------------------------------------------- workloads
@@ -86,6 +86,10 @@ def _run_attack(spec: ScenarioSpec) -> dict:
         machine=spec.machine,
         defense="vanilla" if install_after_setup else spec.defense,
         defense_params={} if install_after_setup else spec.defense_params,
+        # Fleet cells sweep the machine seed and an optional fault plan
+        # through scenario params; absent both, defaults apply.
+        seed=params.get("seed"),
+        fault_plan=params.get("fault_plan"),
     )
     machine = Machine(config)
     kernel = machine.kernel
@@ -230,6 +234,31 @@ def run_scenario(spec: Union[ScenarioSpec, str]) -> ScenarioResult:
         name=spec.name, kind=spec.kind, group=spec.group, payload=payload)
 
 
+def run_scenario_guarded(spec: ScenarioSpec) -> ScenarioResult:
+    """``run_scenario`` with per-cell failure containment.
+
+    A raising cell becomes a structured error result (name, kind,
+    error type/message under ``payload["error"]``) instead of
+    propagating — so one bad cell can never sink its siblings, and a
+    sweep always returns a full-length result list with failures
+    recorded in place.
+    """
+    try:
+        return run_scenario(spec)
+    except Exception as exc:  # noqa: BLE001 — the containment boundary
+        return ScenarioResult(
+            name=spec.name,
+            kind=spec.kind,
+            group=spec.group,
+            payload={
+                "error": {
+                    "type": type(exc).__name__,
+                    "message": str(exc)[:200],
+                },
+            },
+        )
+
+
 def run_sweep(specs: Iterable[Union[ScenarioSpec, str]],
               workers: int = 1) -> List[ScenarioResult]:
     """Run a scenario list, optionally fanned across worker processes.
@@ -237,15 +266,17 @@ def run_sweep(specs: Iterable[Union[ScenarioSpec, str]],
     Results come back in input order and are byte-identical to a
     serial run for any worker count: each scenario is a pure function
     of its spec (seeded RNG, simulated clock), and the merge preserves
-    order rather than completion time.
+    order rather than completion time.  A raising cell is caught into a
+    structured error result (:func:`run_scenario_guarded`) rather than
+    aborting the sibling cells, on both the serial and parallel paths.
     """
     from .registry import scenario
 
     resolved: Sequence[ScenarioSpec] = [
         scenario(s) if isinstance(s, str) else s for s in specs]
     if workers <= 1 or len(resolved) <= 1:
-        return [run_scenario(s) for s in resolved]
+        return [run_scenario_guarded(s) for s in resolved]
     import multiprocessing
 
     with multiprocessing.Pool(processes=min(workers, len(resolved))) as pool:
-        return pool.map(run_scenario, resolved)
+        return pool.map(run_scenario_guarded, resolved)

@@ -38,11 +38,13 @@ __all__ = [
 
 # ================================================================= JSONL
 def write_jsonl(events: List[TraceEvent], path: str) -> int:
-    """Write events one-per-line; returns the event count."""
-    with open(path, "w", encoding="utf-8") as fh:
-        for event in events:
-            fh.write(json.dumps(event.as_dict(), sort_keys=True))
-            fh.write("\n")
+    """Write events one-per-line (atomic); returns the event count."""
+    from ..cli_common import atomic_write_text
+
+    text = "".join(
+        json.dumps(event.as_dict(), sort_keys=True) + "\n"
+        for event in events)
+    atomic_write_text(path, text)
     return len(events)
 
 
@@ -81,10 +83,12 @@ def events_to_chrome(events: List[TraceEvent]) -> Dict[str, object]:
 
 
 def write_chrome(events: List[TraceEvent], path: str) -> int:
-    """Write the Chrome trace JSON; returns the event count."""
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(events_to_chrome(events), fh, sort_keys=True)
-        fh.write("\n")
+    """Write the Chrome trace JSON (atomic); returns the event count."""
+    from ..cli_common import atomic_write_text
+
+    atomic_write_text(
+        path,
+        json.dumps(events_to_chrome(events), sort_keys=True) + "\n")
     return len(events)
 
 

@@ -1,0 +1,159 @@
+"""ResultDir durability: manifest, appends, torn tails, repair."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fleet import FleetSpec, MANIFEST_NAME, ResultDir
+
+
+def _spec(**overrides):
+    base = dict(scenarios=("a", "b"), seeds=(1, 2), runner="synthetic",
+                shards=2)
+    base.update(overrides)
+    return FleetSpec(**base)
+
+
+def _initialised(tmp_path, **overrides):
+    spec = _spec(**overrides)
+    cells = spec.expand()
+    rd = ResultDir(str(tmp_path / "fleet"))
+    rd.initialise(spec, cells)
+    return rd, spec, cells
+
+
+def _record(cell, status="ok", **payload):
+    record = {
+        "cell_id": cell.cell_id,
+        "index": cell.index,
+        "shard": cell.shard,
+        "scenario": cell.scenario,
+        "seed": cell.seed,
+        "defense": cell.defense,
+        "attempts": 1,
+        "status": status,
+    }
+    if status == "ok":
+        record["payload"] = payload
+    else:
+        record["error"] = payload
+    return record
+
+
+class TestManifest:
+    def test_initialise_writes_manifest_and_round_trips(self, tmp_path):
+        rd, spec, cells = _initialised(tmp_path)
+        assert rd.exists()
+        assert rd.load_spec().to_dict() == spec.to_dict()
+        assert ([c.to_dict() for c in rd.load_cells()]
+                == [c.to_dict() for c in cells])
+        assert [c.cell_id for c in rd.verify_expansion()] \
+            == [c.cell_id for c in cells]
+
+    def test_double_initialise_is_refused(self, tmp_path):
+        rd, spec, cells = _initialised(tmp_path)
+        with pytest.raises(ConfigError, match="already holds"):
+            rd.initialise(spec, cells)
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ConfigError, match="no fleet manifest"):
+            ResultDir(str(tmp_path / "nowhere")).load_manifest()
+
+    def test_corrupt_manifest(self, tmp_path):
+        root = tmp_path / "fleet"
+        root.mkdir()
+        (root / MANIFEST_NAME).write_text("{not json", encoding="utf-8")
+        with pytest.raises(ConfigError, match="corrupt fleet manifest"):
+            ResultDir(str(root)).load_manifest()
+
+    def test_verify_expansion_catches_edited_manifest(self, tmp_path):
+        rd, _, _ = _initialised(tmp_path)
+        manifest = json.loads(
+            open(rd.manifest_path, encoding="utf-8").read())
+        manifest["cells"] = manifest["cells"][::-1]
+        with open(rd.manifest_path, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh)
+        with pytest.raises(ConfigError, match="disagree"):
+            rd.verify_expansion()
+
+
+class TestRecords:
+    def test_append_and_load(self, tmp_path):
+        rd, _, cells = _initialised(tmp_path)
+        with rd:
+            for cell in cells:
+                rd.append_record(_record(cell, flip_events=0))
+        records = rd.load_records()
+        assert set(records) == {c.cell_id for c in cells}
+        assert all(r["status"] == "ok" for r in records.values())
+
+    def test_records_land_in_their_shard_files(self, tmp_path):
+        rd, _, cells = _initialised(tmp_path)
+        with rd:
+            for cell in cells:
+                rd.append_record(_record(cell))
+        for cell in cells:
+            lines = open(rd.shard_path(cell.shard),
+                         encoding="utf-8").read().splitlines()
+            assert any(json.loads(line)["cell_id"] == cell.cell_id
+                       for line in lines)
+
+    def test_torn_tail_is_skipped_and_counted(self, tmp_path):
+        rd, _, cells = _initialised(tmp_path)
+        with rd:
+            rd.append_record(_record(cells[0]))
+        # Simulate a SIGKILL mid-append: garbage with no newline.
+        with open(rd.shard_path(cells[0].shard), "a",
+                  encoding="utf-8") as fh:
+            fh.write('{"cell_id": "torn')
+        scan = rd.scan()
+        assert scan["torn_lines"] == 1
+        assert set(scan["records"]) == {cells[0].cell_id}
+
+    def test_repair_shards_terminates_torn_tail(self, tmp_path):
+        rd, _, cells = _initialised(tmp_path)
+        with rd:
+            rd.append_record(_record(cells[0]))
+        path = rd.shard_path(cells[0].shard)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"cell_id": "torn')
+        assert rd.repair_shards() == 1
+        # A fresh append after repair must stay parseable.
+        with ResultDir(rd.root) as rd2:
+            rd2.append_record(_record(cells[1]))
+        scan = ResultDir(rd.root).scan()
+        assert scan["torn_lines"] == 1
+        assert cells[1].cell_id in scan["records"]
+        # Clean files are left alone on a second repair pass.
+        assert ResultDir(rd.root).repair_shards() == 0
+
+    def test_duplicate_records_keep_first_write(self, tmp_path):
+        rd, _, cells = _initialised(tmp_path)
+        with rd:
+            rd.append_record(_record(cells[0], marker="first"))
+            rd.append_record(_record(cells[0], marker="second"))
+        scan = rd.scan()
+        assert scan["duplicates"] == 1
+        assert scan["records"][cells[0].cell_id]["payload"]["marker"] \
+            == "first"
+
+    def test_canonical_lines_are_byte_stable(self, tmp_path):
+        rd, _, cells = _initialised(tmp_path)
+        with rd:
+            rd.append_record(_record(cells[0], flip_events=2))
+        line = open(rd.shard_path(cells[0].shard),
+                    encoding="utf-8").read()
+        assert line == (json.dumps(_record(cells[0], flip_events=2),
+                                   sort_keys=True,
+                                   separators=(",", ":")) + "\n")
+
+
+class TestReport:
+    def test_write_and_read_report(self, tmp_path):
+        rd, _, _ = _initialised(tmp_path)
+        assert rd.read_report() is None
+        path = rd.write_report({"fleet": {"cells": 4}})
+        assert os.path.exists(path)
+        assert rd.read_report() == {"fleet": {"cells": 4}}

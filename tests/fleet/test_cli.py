@@ -1,0 +1,165 @@
+"""``repro-fleet`` CLI flows, driven in-process through ``main``."""
+
+import json
+
+import pytest
+
+from repro.cli_common import EXIT_CHECK_FAILED, EXIT_OK, EXIT_USAGE
+from repro.fleet import ResultDir
+from repro.fleet.cli import main
+
+
+def _run_tiny(tmp_path, capsys, extra=()):
+    out = str(tmp_path / "fleet")
+    code = main([
+        "run", "--out", out, "--runner", "synthetic",
+        "--scenarios", "synth-000", "synth-001",
+        "--seeds", "1", "2", "--shards", "2", "--backoff", "0.01",
+        "--json", *extra])
+    assert code == EXIT_OK
+    summary = json.loads(capsys.readouterr().out.strip())
+    return out, summary
+
+
+class TestRun:
+    def test_run_completes_and_reports_summary(self, tmp_path, capsys):
+        out, summary = _run_tiny(tmp_path, capsys)
+        assert summary["cells"] == 4
+        assert summary["ok"] == 4
+        assert summary["result_dir"] == out
+        assert ResultDir(out).exists()
+
+    def test_run_requires_out(self, capsys):
+        assert main(["run", "--scenarios", "x",
+                     "--runner", "synthetic"]) == EXIT_USAGE
+        assert "--out" in capsys.readouterr().err
+
+    def test_run_requires_scenarios(self, tmp_path, capsys):
+        code = main(["run", "--out", str(tmp_path / "f"),
+                     "--runner", "synthetic"])
+        assert code == EXIT_USAGE
+        assert "nothing to run" in capsys.readouterr().err
+
+    def test_run_from_spec_file(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "scenarios": ["synth-000"], "runner": "synthetic",
+            "shards": 1}), encoding="utf-8")
+        code = main(["run", "--spec", str(spec_path),
+                     "--out", str(tmp_path / "f"), "--json"])
+        assert code == EXIT_OK
+        assert json.loads(capsys.readouterr().out.strip())["ok"] == 1
+
+    def test_unreadable_spec_file(self, tmp_path, capsys):
+        code = main(["run", "--spec", str(tmp_path / "missing.json"),
+                     "--out", str(tmp_path / "f")])
+        assert code == EXIT_USAGE
+        assert "cannot read fleet spec" in capsys.readouterr().err
+
+    def test_seeds_range_expands_inclusively(self, tmp_path, capsys):
+        out, summary = _run_tiny(
+            tmp_path, capsys, extra=["--seeds-range", "5", "7"])
+        # 2 scenarios x (2 listed + 3 ranged seeds).
+        assert summary["cells"] == 10
+        spec = ResultDir(out).load_spec()
+        assert spec.seeds == (1, 2, 5, 6, 7)
+
+    def test_bad_seeds_range(self, tmp_path, capsys):
+        code = main(["run", "--out", str(tmp_path / "f"),
+                     "--runner", "synthetic", "--scenarios", "x",
+                     "--seeds-range", "9", "2"])
+        assert code == EXIT_USAGE
+
+    def test_fault_sites_build_plans_plus_baseline(self, tmp_path,
+                                                   capsys):
+        out, summary = _run_tiny(
+            tmp_path, capsys, extra=["--fault-sites", "timers"])
+        # The fault axis gains a None baseline + one single-site plan.
+        assert summary["cells"] == 8
+        spec = ResultDir(out).load_spec()
+        assert spec.fault_plans[0] is None
+        assert spec.fault_plans[1]["specs"][0]["site"] == "timers"
+
+    def test_unknown_fault_site(self, tmp_path, capsys):
+        code = main(["run", "--out", str(tmp_path / "f"),
+                     "--runner", "synthetic", "--scenarios", "x",
+                     "--fault-sites", "cosmic-rays"])
+        assert code == EXIT_USAGE
+        assert "unknown fault site" in capsys.readouterr().err
+
+    def test_existing_result_dir_is_an_error(self, tmp_path, capsys):
+        out, _ = _run_tiny(tmp_path, capsys)
+        code = main(["run", "--out", out, "--runner", "synthetic",
+                     "--scenarios", "synth-000"])
+        assert code == EXIT_USAGE
+        assert "already holds" in capsys.readouterr().err
+
+
+class TestStatusReportResume:
+    def test_status_check_gates_on_completion(self, tmp_path, capsys):
+        out, _ = _run_tiny(tmp_path, capsys)
+        assert main(["status", out, "--check"]) == EXIT_OK
+        capsys.readouterr()
+        assert main(["status", out, "--json"]) == EXIT_OK
+        status = json.loads(capsys.readouterr().out)
+        assert status["complete"] and status["cells"] == 4
+
+    def test_status_check_fails_on_partial_dir(self, tmp_path, capsys):
+        from repro.fleet import FleetSpec
+
+        spec = FleetSpec(scenarios=("synth-000", "synth-001"),
+                         runner="synthetic")
+        rd = ResultDir(str(tmp_path / "f"))
+        rd.initialise(spec, spec.expand())
+        assert main(["status", rd.root, "--check"]) == EXIT_CHECK_FAILED
+        assert "CHECK FAILED" in capsys.readouterr().err
+
+    def test_status_on_missing_dir(self, tmp_path, capsys):
+        code = main(["status", str(tmp_path / "nope")])
+        assert code == EXIT_USAGE
+        assert "no fleet manifest" in capsys.readouterr().err
+
+    def test_report_writes_into_result_dir(self, tmp_path, capsys):
+        out, _ = _run_tiny(tmp_path, capsys)
+        assert main(["report", out]) == EXIT_OK
+        report = ResultDir(out).read_report()
+        assert report["fleet"]["ok"] == 4
+        assert "fleet: 4/4 cells ok" in capsys.readouterr().out
+
+    def test_report_out_override_and_json(self, tmp_path, capsys):
+        out, _ = _run_tiny(tmp_path, capsys)
+        target = str(tmp_path / "custom_report.json")
+        assert main(["report", out, "--out", target, "--json"]) \
+            == EXIT_OK
+        printed = json.loads(capsys.readouterr().out)
+        on_disk = json.loads(open(target, encoding="utf-8").read())
+        assert printed == on_disk
+        assert ResultDir(out).read_report() is None
+
+    def test_resume_noop_round_trip(self, tmp_path, capsys):
+        out, _ = _run_tiny(tmp_path, capsys)
+        assert main(["resume", out, "--json"]) == EXIT_OK
+        summary = json.loads(capsys.readouterr().out.strip())
+        assert summary["already_done"] == 4 and summary["ran"] == 0
+
+    def test_resume_missing_dir(self, tmp_path, capsys):
+        assert main(["resume", str(tmp_path / "nope")]) == EXIT_USAGE
+
+
+def test_progress_lines_go_to_stderr(tmp_path, capsys):
+    out = str(tmp_path / "fleet")
+    code = main(["run", "--out", out, "--runner", "synthetic",
+                 "--scenarios", "synth-000", "--shards", "1"])
+    assert code == EXIT_OK
+    captured = capsys.readouterr()
+    assert "[1/1]" in captured.err
+    assert "fleet: 1 ok" in captured.out
+
+
+def test_group_flag_pulls_registered_scenarios(tmp_path, capsys):
+    out = str(tmp_path / "fleet")
+    code = main(["run", "--out", out, "--group", "smoke",
+                 "--shards", "1", "--timeout", "120", "--json"])
+    assert code == EXIT_OK
+    summary = json.loads(capsys.readouterr().out.strip())
+    assert summary["ok"] == summary["cells"] >= 2

@@ -1,0 +1,234 @@
+"""Aggregate report: math, ledger, and append-order independence."""
+
+import json
+
+from repro.fleet import (FleetSpec, ResultDir, build_report, fleet_status,
+                         render_report, run_fleet)
+from repro.fleet.report import _merge_histogram, _percentile_ns
+
+
+def _spec(**overrides):
+    base = dict(
+        scenarios=("synth-000", "synth-001", "synth-002"),
+        seeds=(1, 2),
+        defenses=("vanilla", "softtrr"),
+        runner="synthetic",
+        shards=2,
+        backoff_s=0.01,
+    )
+    base.update(overrides)
+    return FleetSpec(**base)
+
+
+def _record(cell, status="ok", attempts=1, payload=None, error=None):
+    record = {
+        "cell_id": cell.cell_id, "index": cell.index,
+        "shard": cell.shard, "scenario": cell.scenario,
+        "seed": cell.seed, "defense": cell.defense,
+        "attempts": attempts, "status": status,
+    }
+    if status == "ok":
+        record["payload"] = payload or {}
+    else:
+        record["error"] = error or {"type": "X", "message": "y"}
+    return record
+
+
+def _write_all(rd, records):
+    with rd:
+        for record in records:
+            rd.append_record(record)
+
+
+class TestAggregation:
+    def test_counts_rates_and_ledger(self, tmp_path):
+        spec = _spec()
+        cells = spec.expand()
+        rd = ResultDir(str(tmp_path / "f"))
+        rd.initialise(spec, cells)
+        records = []
+        for i, cell in enumerate(cells):
+            if i == 0:
+                records.append(_record(
+                    cell, status="quarantined", attempts=3,
+                    error={"type": "RuntimeError", "message": "boom"}))
+                continue
+            flips = 2 if cell.defense == "vanilla" else 0
+            records.append(_record(cell, attempts=1 + (i == 1), payload={
+                "defense": cell.defense,
+                "flip_events": flips,
+                "protected": flips == 0,
+                "activations": 100,
+                "refreshes": 5 if cell.defense == "softtrr" else 0,
+                "windows": 4,
+                "erosion_ns": 1_000,
+            }))
+        _write_all(rd, records)
+        report = build_report(rd)
+
+        fleet = report["fleet"]
+        assert fleet["cells"] == 12
+        assert fleet["completed"] == 12
+        assert fleet["ok"] == 11 and fleet["quarantined"] == 1
+        assert fleet["missing"] == 0
+        assert fleet["attempts_histogram"] == {"1": 10, "2": 1, "3": 1}
+
+        vanilla = report["defenses"]["vanilla"]
+        softtrr = report["defenses"]["softtrr"]
+        # Cell 0 (a vanilla cell) was quarantined, leaving 5.
+        assert vanilla["cells"] == 5 and softtrr["cells"] == 6
+        assert vanilla["flip_rate"] == 1.0
+        assert vanilla["protection_rate"] == 0.0
+        assert softtrr["flip_rate"] == 0.0
+        assert softtrr["protection_rate"] == 1.0
+        assert softtrr["refresh_overhead"] == 5 / 100
+        assert vanilla["erosion_per_window_ns"] == 1_000 / 4
+
+        assert len(report["failures"]) == 1
+        failure = report["failures"][0]
+        assert failure["cell_id"] == cells[0].cell_id
+        assert failure["error"] == {"type": "RuntimeError",
+                                    "message": "boom"}
+
+    def test_missing_cells_are_listed(self, tmp_path):
+        spec = _spec(scenarios=("synth-000",), seeds=(1, 2),
+                     defenses=())
+        cells = spec.expand()
+        rd = ResultDir(str(tmp_path / "f"))
+        rd.initialise(spec, cells)
+        _write_all(rd, [_record(cells[0])])
+        report = build_report(rd)
+        assert report["fleet"]["missing"] == 1
+        assert report["fleet"]["missing_cell_ids"] == [cells[1].cell_id]
+
+    def test_flip_key_priority_falls_back(self, tmp_path):
+        spec = _spec(scenarios=("synth-000",), seeds=(),
+                     defenses=())
+        cells = spec.expand()
+        rd = ResultDir(str(tmp_path / "f"))
+        rd.initialise(spec, cells)
+        _write_all(rd, [_record(cells[0], payload={
+            "defense": "vanilla", "l1pt_flip_events": 3,
+            "verdict": "blocked"})])
+        report = build_report(rd)
+        entry = report["defenses"]["vanilla"]
+        assert entry["flip_events"] == 3
+        assert entry["protection_rate"] == 1.0  # verdict fallback
+
+    def test_span_percentiles_from_merged_histograms(self, tmp_path):
+        spec = _spec(scenarios=("synth-000", "synth-001"), seeds=(),
+                     defenses=())
+        cells = spec.expand()
+        rd = ResultDir(str(tmp_path / "f"))
+        rd.initialise(spec, cells)
+        histogram_a = {"boundaries": [10, 100], "counts": [8, 1, 1],
+                       "total": 10, "sum": 300}
+        histogram_b = {"boundaries": [10, 100], "counts": [0, 90, 0],
+                       "total": 90, "sum": 4_000}
+        _write_all(rd, [
+            _record(cells[0], payload={
+                "span_histograms": {"tick": histogram_a}}),
+            _record(cells[1], payload={
+                "span_histograms": {"tick": histogram_b}}),
+        ])
+        report = build_report(rd)
+        tick = report["span_percentiles"]["tick"]
+        assert tick["count"] == 100 and tick["sum_ns"] == 4_300
+        assert tick["p50_ns"] == 100  # 8 + 91 cumulative at edge 100
+        assert tick["p99_ns"] == 100
+        assert report["span_histograms_skipped"] == 0
+
+    def test_boundary_mismatch_is_skipped_not_fatal(self, tmp_path):
+        spec = _spec(scenarios=("synth-000", "synth-001"), seeds=(),
+                     defenses=())
+        cells = spec.expand()
+        rd = ResultDir(str(tmp_path / "f"))
+        rd.initialise(spec, cells)
+        _write_all(rd, [
+            _record(cells[0], payload={"span_histograms": {"tick": {
+                "boundaries": [10], "counts": [1, 0], "total": 1,
+                "sum": 5}}}),
+            _record(cells[1], payload={"span_histograms": {"tick": {
+                "boundaries": [20], "counts": [1, 0], "total": 1,
+                "sum": 5}}}),
+        ])
+        report = build_report(rd)
+        assert report["span_histograms_skipped"] == 1
+        assert report["span_percentiles"]["tick"]["count"] == 1
+
+
+class TestPercentileMath:
+    def test_upper_bucket_edge_estimate(self):
+        assert _percentile_ns([10, 100], [5, 5], 10, 0.50) == 10
+        assert _percentile_ns([10, 100], [1, 9], 10, 0.50) == 100
+        assert _percentile_ns([10, 100], [0, 0], 0, 0.50) is None
+
+    def test_overflow_bucket_yields_none(self):
+        # 99th percentile lands past the last finite edge.
+        assert _percentile_ns([10, 100], [0, 1], 10, 0.99) is None
+
+    def test_merge_rejects_malformed(self):
+        target = {}
+        assert not _merge_histogram(target, {"boundaries": [],
+                                             "counts": []})
+        assert not _merge_histogram(target, {"boundaries": [1],
+                                             "counts": [1]})
+        assert target == {}
+
+
+class TestByteStability:
+    def test_report_is_independent_of_append_order(self, tmp_path):
+        spec = _spec()
+        cells = spec.expand()
+        records = []
+        for cell in cells:
+            records.append(_record(cell, payload={
+                "defense": cell.defense or "vanilla",
+                "flip_events": cell.index % 2,
+                "activations": 10 + cell.index,
+            }))
+        rendered = []
+        for order, name in ((records, "fwd"), (records[::-1], "rev")):
+            rd = ResultDir(str(tmp_path / name))
+            rd.initialise(spec, cells)
+            _write_all(rd, order)
+            rendered.append(json.dumps(build_report(rd),
+                                       sort_keys=True, indent=2))
+        assert rendered[0] == rendered[1]
+
+
+class TestStatus:
+    def test_status_counts_and_check_flag(self, tmp_path):
+        out = str(tmp_path / "f")
+        spec = _spec(scenarios=("synth-000", "synth-001"), seeds=(1,),
+                     defenses=(),
+                     runner_params={"poison": ["synth-001"]},
+                     max_attempts=2)
+        run_fleet(spec, out, jobs=1)
+        status = fleet_status(ResultDir(out))
+        assert status["cells"] == 2
+        assert status["ok"] == 1 and status["quarantined"] == 1
+        assert status["remaining"] == 0 and status["complete"]
+        assert status["torn_lines"] == 0
+        assert sum(e["cells"] for e in status["shards"].values()) == 2
+
+    def test_status_of_partial_dir_is_incomplete(self, tmp_path):
+        spec = _spec()
+        rd = ResultDir(str(tmp_path / "f"))
+        rd.initialise(spec, spec.expand())
+        status = fleet_status(rd)
+        assert not status["complete"]
+        assert status["remaining"] == status["cells"] == 12
+
+
+def test_render_report_mentions_the_essentials(tmp_path):
+    out = str(tmp_path / "f")
+    spec = _spec(scenarios=("synth-000", "synth-001"), seeds=(1,),
+                 defenses=(), runner_params={"poison": ["synth-001"]},
+                 max_attempts=2)
+    run_fleet(spec, out, jobs=1)
+    rd = ResultDir(out)
+    text = render_report(build_report(rd))
+    assert "1/2 cells ok" in text
+    assert "QUARANTINED" in text
+    assert "synthetic.tick" in text

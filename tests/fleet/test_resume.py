@@ -1,0 +1,152 @@
+"""The resume invariant, end to end: SIGKILL a fleet, resume it, and
+the aggregate report is byte-identical to an uninterrupted run's."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.fleet import FleetSpec, ResultDir, build_report, resume_fleet
+
+#: Cells enough to straddle a kill, paced so the fleet stays killable.
+_N_CELLS = 120
+_POISON = "synth-017@2"
+
+
+def _spec_payload():
+    return FleetSpec(
+        scenarios=tuple(f"synth-{i:03d}" for i in range(_N_CELLS // 2)),
+        seeds=(1, 2),
+        runner="synthetic",
+        runner_params={"poison": [_POISON], "sleep_ms": 15},
+        shards=4,
+        timeout_s=30.0,
+        max_attempts=3,
+        backoff_s=0.01,
+    ).to_dict()
+
+
+def _cli_env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    return env
+
+
+def _fleet_cli(*argv, **popen_kwargs):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.fleet.cli", *argv],
+        env=_cli_env(), stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL, **popen_kwargs)
+
+
+def _records_on_disk(out_dir):
+    return len(ResultDir(out_dir).load_records())
+
+
+def _report_bytes(out_dir):
+    report = build_report(ResultDir(out_dir))
+    return json.dumps(report, sort_keys=True, indent=2).encode()
+
+
+@pytest.mark.slow
+def test_kill_resume_report_is_byte_identical(tmp_path):
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(_spec_payload()), encoding="utf-8")
+    killed_dir = str(tmp_path / "killed")
+    clean_dir = str(tmp_path / "clean")
+
+    # --- fleet 1: run in a subprocess, SIGKILL the whole process group
+    # mid-shard (daemon workers die with the group, like a real crash).
+    proc = _fleet_cli(
+        "run", "--spec", str(spec_path), "--out", killed_dir,
+        "--jobs", "2", "--json", start_new_session=True)
+    try:
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                pytest.fail(
+                    "fleet finished before the kill; raise sleep_ms")
+            if (os.path.isdir(os.path.join(killed_dir, "shards"))
+                    and _records_on_disk(killed_dir) >= 20):
+                break
+            time.sleep(0.01)
+        else:
+            pytest.fail("fleet never reached 20 records")
+        os.killpg(proc.pid, signal.SIGKILL)
+    finally:
+        if proc.poll() is None:
+            try:
+                os.killpg(proc.pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+        proc.wait(timeout=10)
+
+    interrupted = _records_on_disk(killed_dir)
+    assert 20 <= interrupted < _N_CELLS
+
+    # status --check must fail while cells are unaccounted for.
+    check = _fleet_cli("status", killed_dir, "--check")
+    assert check.wait(timeout=30) == 1
+
+    # --- resume in-process: picks up only the remaining cells.
+    summary = resume_fleet(killed_dir, jobs=2)
+    assert summary["already_done"] == interrupted
+    assert summary["already_done"] + summary["ran"] == _N_CELLS
+    assert summary["quarantined"] == 1
+
+    check = _fleet_cli("status", killed_dir, "--check")
+    assert check.wait(timeout=30) == 0
+
+    # --- fleet 2: the same spec, uninterrupted, in-process.
+    from repro.fleet import run_fleet
+
+    clean_summary = run_fleet(
+        FleetSpec.from_dict(json.loads(spec_path.read_text())),
+        clean_dir, jobs=2)
+    assert clean_summary["ok"] == _N_CELLS - 1
+    assert clean_summary["quarantined"] == 1
+
+    # --- the bar: byte-identical aggregate reports.
+    assert _report_bytes(killed_dir) == _report_bytes(clean_dir)
+
+    # The poison cell is quarantined after its full retry budget while
+    # every other cell completed.
+    report = build_report(ResultDir(killed_dir))
+    assert report["fleet"]["ok"] == _N_CELLS - 1
+    assert report["fleet"]["missing"] == 0
+    (failure,) = report["failures"]
+    assert failure["scenario"] == "synth-017" and failure["seed"] == 2
+    assert failure["attempts"] == 3
+    assert failure["error"]["type"] == "RuntimeError"
+
+
+def test_resume_after_torn_append_repairs_the_shard(tmp_path):
+    out = str(tmp_path / "fleet")
+    spec = FleetSpec(
+        scenarios=("synth-000", "synth-001", "synth-002"),
+        runner="synthetic", shards=1, backoff_s=0.01)
+    cells = spec.expand()
+    rd = ResultDir(out)
+    rd.initialise(spec, cells)
+    with rd:
+        rd.append_record({
+            "cell_id": cells[0].cell_id, "index": cells[0].index,
+            "shard": cells[0].shard, "scenario": cells[0].scenario,
+            "seed": None, "defense": None, "attempts": 1,
+            "status": "ok", "payload": {},
+        })
+    # A kill mid-append leaves a torn, newline-less tail.
+    with open(rd.shard_path(0), "a", encoding="utf-8") as fh:
+        fh.write('{"cell_id": "' + cells[1].cell_id)
+    summary = resume_fleet(out, jobs=1)
+    assert summary["repaired_shard_tails"] == 1
+    assert summary["already_done"] == 1
+    assert summary["ran"] == 2  # the torn cell re-ran
+    scan = ResultDir(out).scan()
+    assert scan["torn_lines"] == 1  # isolated on its own line forever
+    assert len(scan["records"]) == 3

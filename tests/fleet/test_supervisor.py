@@ -1,0 +1,135 @@
+"""Supervisor robustness: retry, quarantine, timeout, resume no-op."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fleet import FleetSpec, ResultDir, resume_fleet, run_fleet
+
+
+def _spec(n=6, **overrides):
+    base = dict(
+        scenarios=tuple(f"synth-{i:03d}" for i in range(n)),
+        runner="synthetic",
+        shards=2,
+        timeout_s=30.0,
+        max_attempts=3,
+        backoff_s=0.01,
+    )
+    base.update(overrides)
+    return FleetSpec(**base)
+
+
+def test_clean_fleet_completes_every_cell(tmp_path):
+    out = str(tmp_path / "fleet")
+    events = []
+    summary = run_fleet(_spec(), out, jobs=2, progress=events.append)
+    assert summary["cells"] == summary["ok"] == summary["ran"] == 6
+    assert summary["quarantined"] == summary["retries"] == 0
+    records = ResultDir(out).load_records()
+    assert len(records) == 6
+    assert all(r["attempts"] == 1 for r in records.values())
+    assert sum(1 for e in events if e["event"] == "ok") == 6
+
+
+def test_poison_cell_is_retried_then_quarantined(tmp_path):
+    out = str(tmp_path / "fleet")
+    events = []
+    spec = _spec(runner_params={"poison": ["synth-002"]},
+                 max_attempts=3)
+    summary = run_fleet(spec, out, jobs=2, progress=events.append)
+    assert summary["ok"] == 5
+    assert summary["quarantined"] == 1
+    # A poison cell burns max_attempts - 1 retries, exactly.
+    assert summary["retries"] == 2
+    retried = [e for e in events if e["event"] == "retry"]
+    assert len(retried) == 2
+    assert {e["cell_id"] for e in retried} == {
+        next(c.cell_id for c in spec.expand()
+             if c.scenario == "synth-002")}
+
+    records = ResultDir(out).load_records()
+    bad = [r for r in records.values() if r["status"] == "quarantined"]
+    assert len(bad) == 1
+    assert bad[0]["scenario"] == "synth-002"
+    assert bad[0]["attempts"] == 3
+    assert bad[0]["error"]["type"] == "RuntimeError"
+    assert "poison" in bad[0]["error"]["message"]
+    # Quarantine never contaminates siblings.
+    assert all(r["attempts"] == 1 for r in records.values()
+               if r["status"] == "ok")
+
+
+def test_flaky_cell_recovers_with_attempt_count(tmp_path):
+    out = str(tmp_path / "fleet")
+    spec = _spec(runner_params={"flaky": {"synth-001": 2}})
+    summary = run_fleet(spec, out, jobs=1)
+    assert summary["ok"] == 6 and summary["quarantined"] == 0
+    assert summary["retries"] == 2
+    records = ResultDir(out).load_records()
+    by_name = {r["scenario"]: r for r in records.values()}
+    assert by_name["synth-001"]["attempts"] == 3
+    assert by_name["synth-001"]["status"] == "ok"
+    assert all(by_name[f"synth-{i:03d}"]["attempts"] == 1
+               for i in (0, 2, 3, 4, 5))
+
+
+def test_hung_cell_times_out_and_is_quarantined(tmp_path):
+    out = str(tmp_path / "fleet")
+    spec = _spec(n=4, runner_params={"hang": ["synth-003"]},
+                 timeout_s=0.3, max_attempts=2, backoff_s=0.01)
+    summary = run_fleet(spec, out, jobs=2)
+    assert summary["ok"] == 3
+    assert summary["quarantined"] == 1
+    assert summary["timeouts"] == 2  # one per attempt
+    records = ResultDir(out).load_records()
+    bad = next(r for r in records.values()
+               if r["status"] == "quarantined")
+    assert bad["scenario"] == "synth-003"
+    assert bad["error"]["type"] == "CellTimeout"
+    assert "wall-clock budget" in bad["error"]["message"]
+
+
+def test_resume_of_complete_fleet_is_a_no_op(tmp_path):
+    out = str(tmp_path / "fleet")
+    run_fleet(_spec(), out, jobs=2)
+    summary = resume_fleet(out)
+    assert summary["already_done"] == 6
+    assert summary["ran"] == 0
+    assert summary["repaired_shard_tails"] == 0
+
+
+def test_resume_finishes_a_partial_fleet(tmp_path):
+    out = str(tmp_path / "fleet")
+    spec = _spec()
+    cells = spec.expand()
+    rd = ResultDir(out)
+    rd.initialise(spec, cells)
+    # Pre-complete two cells by hand, as if a kill landed after them.
+    with rd:
+        for cell in cells[:2]:
+            rd.append_record({
+                "cell_id": cell.cell_id, "index": cell.index,
+                "shard": cell.shard, "scenario": cell.scenario,
+                "seed": cell.seed, "defense": cell.defense,
+                "attempts": 1, "status": "ok",
+                "payload": {"marker": "pre-kill"},
+            })
+    summary = resume_fleet(out, jobs=2)
+    assert summary["already_done"] == 2
+    assert summary["ran"] == summary["ok"] == 4
+    records = ResultDir(out).load_records()
+    assert len(records) == 6
+    # Resume never re-runs (or overwrites) checkpointed cells.
+    assert records[cells[0].cell_id]["payload"] == {"marker": "pre-kill"}
+
+
+def test_run_refuses_existing_result_dir(tmp_path):
+    out = str(tmp_path / "fleet")
+    run_fleet(_spec(n=1), out)
+    with pytest.raises(ConfigError, match="already holds"):
+        run_fleet(_spec(n=1), out)
+
+
+def test_jobs_must_be_positive(tmp_path):
+    with pytest.raises(ConfigError, match="jobs"):
+        run_fleet(_spec(n=1), str(tmp_path / "fleet"), jobs=0)
