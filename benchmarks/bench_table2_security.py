@@ -18,6 +18,7 @@ from repro.analysis.tables import render_table2
 from repro.attacks.memory_spray import MemorySprayAttack
 from repro.config import optiplex_390
 from repro.core.profile import SoftTrrParams
+from repro.patterns import round_robin
 from repro.defenses.base import SoftTrrDefense, boot_kernel
 
 M = scale(2, 4)
@@ -42,7 +43,9 @@ def test_table2_security(benchmark, announce):
     SoftTrrDefense(SoftTrrParams()).install(kernel)
     target = attack.targets[0]
 
+    burst = round_robin(len(target.aggressor_vaddrs), 400)
+
     def defended_hammer_burst():
-        attack.kit.hammer(target.aggressor_vaddrs, 400)
+        attack.kit.run(burst, target.aggressor_vaddrs)
 
     benchmark(defended_hammer_burst)

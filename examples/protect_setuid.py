@@ -20,6 +20,7 @@ Run:  python examples/protect_setuid.py
 from repro import Machine
 from repro.attacks.hammer import HammerKit
 from repro.kernel.vma import PAGE
+from repro.patterns import round_robin
 
 OPCODES = bytes([0x55, 0x48, 0x89, 0xE5] * 1024)  # push rbp; mov rbp,rsp ...
 
@@ -96,7 +97,7 @@ def run(protect: bool) -> None:
     if protect:
         kernel.clock.advance(2_000_000)
         kernel.dispatch_timers()
-    kit.hammer(aggressors, 30_000)
+    kit.run(round_robin(len(aggressors), 30_000), aggressors)
     after = kernel.dram.raw_read(code_ppn << 12, PAGE)
     if after == snapshot:
         print("  opcodes intact", end="")

@@ -348,9 +348,7 @@ def _build_parser() -> argparse.ArgumentParser:
         description=("Comparative tracker sweep: protection rate x refresh "
                      "overhead x SRAM budget per defense."),
     )
-    parser.add_argument(
-        "--defenses", nargs="*", default=list(ZOO_DEFENSES),
-        help=f"defenses to sweep (default: {' '.join(ZOO_DEFENSES)})")
+    cli_common.add_defenses_option(parser, default=ZOO_DEFENSES)
     parser.add_argument(
         "--patterns", nargs="*", default=list(PATTERNS + ("spray",)),
         help="hammer patterns and/or 'spray' "

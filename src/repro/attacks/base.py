@@ -161,7 +161,7 @@ class PageTableAttack:
 
     # ------------------------------------------------------------ helpers
     def _hammer_target(self, target: PlacedTarget, duration_ns: int) -> None:
-        self.kit.hammer_for(
+        self.kit.run_for(
             target.aggressor_vaddrs, duration_ns,
             per_iter_delay_ns=target.per_iter_delay_ns)
 

@@ -24,21 +24,33 @@ arithmetic that puts the minimum time-to-first-flip just above 1 ms.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import warnings
+from typing import List, Optional, Sequence, Union
 
-from ..batching import batch_enabled
 from ..errors import AttackError
 from ..kernel.process import Process
-
-#: Per-activation overhead beyond the DRAM conflict: clflush + loop.
-DEFAULT_EXTRA_NS = 15
-
-#: Default iterations per hybrid batch (kept small for TRR fidelity).
-DEFAULT_BATCH = 100
+from ..patterns.compile import CompiledPlan
+from ..patterns.lang import Pattern
+from ..patterns.program import (
+    DEFAULT_BATCH,
+    DEFAULT_EXTRA_NS,
+    AttackProgram,
+    ProgramOutcome,
+    round_robin,
+)
 
 
 class HammerKit:
-    """Hammering primitives bound to one (kernel, process) pair."""
+    """Hammering primitives bound to one (kernel, process) pair.
+
+    The loop bodies now live in :class:`repro.patterns.AttackProgram`;
+    the kit is the *binding* — kernel, process, per-ACT overhead and
+    the batch pin — plus :meth:`run`/:meth:`run_for`, which execute any
+    pattern under that binding.  The legacy :meth:`hammer`/
+    :meth:`hammer_for` entry points remain as deprecated shims over the
+    canned :func:`~repro.patterns.program.round_robin` pattern and
+    replay bit-identically to the historical loop.
+    """
 
     def __init__(self, kernel, process: Process,
                  extra_ns: int = DEFAULT_EXTRA_NS,
@@ -62,57 +74,84 @@ class HammerKit:
             raise AttackError(f"cannot resolve {vaddr:#x}")
         return (ppn << 12) | (vaddr & 0xFFF)
 
-    # -------------------------------------------------------------- loops
+    # ----------------------------------------------------------- programs
+    def run(self, program: Union[AttackProgram, Pattern, CompiledPlan, str],
+            aggressors: Sequence[int],
+            bindings=None) -> ProgramOutcome:
+        """Execute a user-mode attack program under this kit's binding.
+
+        ``program`` may be an :class:`AttackProgram` (its mode must be
+        ``"user"``), a :class:`Pattern`, a :class:`CompiledPlan` or DSL
+        source text; the latter three inherit the kit's ``extra_ns`` and
+        batch pin.  ``aggressors`` are the vaddrs the plan's row
+        operands index.
+        """
+        if not isinstance(program, AttackProgram):
+            program = AttackProgram(
+                program, bindings, mode="user", act_ns=self.extra_ns,
+                use_batch=self.use_batch)
+        elif program.mode != "user":
+            raise AttackError(
+                f"HammerKit.run executes user-mode programs; "
+                f"{program.name!r} is {program.mode!r}-mode")
+        outcome = program.run(self.kernel, self.process, aggressors)
+        self.total_activations += outcome.activations
+        return outcome
+
+    def run_for(self, vaddrs: Sequence[int], duration_ns: int,
+                batch: int = DEFAULT_BATCH,
+                per_iter_delay_ns: int = 0) -> int:
+        """Round-robin hammer for a simulated duration; returns rounds.
+
+        Replays one ``round_robin`` chunk per wall-step until the
+        duration elapses — the program-era replacement for the
+        deprecated :meth:`hammer_for`, with identical replay.
+        """
+        if not vaddrs:
+            raise AttackError("no aggressors to hammer")
+        program = AttackProgram(
+            round_robin(len(vaddrs), batch, batch, per_iter_delay_ns),
+            mode="user", act_ns=self.extra_ns, use_batch=self.use_batch)
+        start = self.kernel.clock.now_ns
+        rounds = 0
+        while self.kernel.clock.now_ns - start < duration_ns:
+            self.run(program, vaddrs)
+            rounds += batch
+        return rounds
+
+    # ----------------------------------------------- deprecated shims
     def hammer(self, vaddrs: Sequence[int], iterations: int,
                batch: int = DEFAULT_BATCH,
                per_iter_delay_ns: int = 0) -> None:
-        """Hammer ``vaddrs`` round-robin for ``iterations`` rounds.
+        """Deprecated: author an :class:`AttackProgram` and :meth:`run` it.
 
-        One round touches every aggressor once (clflush + load).
-        ``per_iter_delay_ns`` models extra work per round (e.g. the NOP
-        padding of Section V-C's rate-matched templating).
+        Hammers ``vaddrs`` round-robin for ``iterations`` rounds (one
+        round touches every aggressor once; ``per_iter_delay_ns`` models
+        extra work per round).  Kept as a thin shim over the canned
+        ``round_robin`` pattern — replay is bit-identical to the
+        historical loop.
         """
+        warnings.warn(
+            "HammerKit.hammer is deprecated; build an AttackProgram "
+            "(e.g. repro.patterns.round_robin) and HammerKit.run it",
+            DeprecationWarning, stacklevel=2)
         if not vaddrs:
             raise AttackError("no aggressors to hammer")
         if iterations <= 0:
             return
-        kernel = self.kernel
-        use_batch = (batch_enabled() if self.use_batch is None
-                     else self.use_batch)
-        paddrs = [self.paddr_of(va) for va in vaddrs]
-        done = 0
-        while done < iterations:
-            n = min(batch, iterations - done)
-            for vaddr, paddr in zip(vaddrs, paddrs):
-                # The architecturally visible access of the batch: takes
-                # the RSVD fault if SoftTRR armed this page.
-                kernel.mmu.clflush(paddr)
-                kernel.user_read(self.process, vaddr, 8)
-                if n > 1:
-                    # The rest of the batch: same physics, batched.
-                    if use_batch:
-                        kernel.dram.hammer_batch(
-                            [(paddr, n - 1)], extra_ns=self.extra_ns)
-                    else:
-                        kernel.dram.hammer(paddr, n - 1)
-                        kernel.clock.advance((n - 1) * self.extra_ns)
-                self.total_activations += n
-            if per_iter_delay_ns:
-                kernel.clock.advance(n * per_iter_delay_ns)
-            kernel.dispatch_timers()
-            done += n
+        self.run(round_robin(len(vaddrs), iterations, batch,
+                             per_iter_delay_ns), vaddrs)
 
     def hammer_for(self, vaddrs: Sequence[int], duration_ns: int,
                    batch: int = DEFAULT_BATCH,
                    per_iter_delay_ns: int = 0) -> int:
-        """Hammer for a fixed simulated duration; returns rounds done."""
-        start = self.kernel.clock.now_ns
-        rounds = 0
-        while self.kernel.clock.now_ns - start < duration_ns:
-            self.hammer(vaddrs, batch, batch=batch,
-                        per_iter_delay_ns=per_iter_delay_ns)
-            rounds += batch
-        return rounds
+        """Deprecated: use :meth:`run_for` (same semantics and replay)."""
+        warnings.warn(
+            "HammerKit.hammer_for is deprecated; use HammerKit.run_for "
+            "(or author an AttackProgram)",
+            DeprecationWarning, stacklevel=2)
+        return self.run_for(vaddrs, duration_ns, batch=batch,
+                            per_iter_delay_ns=per_iter_delay_ns)
 
     # ------------------------------------------------------- row patterns
     @staticmethod

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..errors import TemplatingError
 from ..kernel.process import Process
 from ..kernel.vma import PAGE
+from ..patterns.program import round_robin
 from .hammer import HammerKit
 
 #: Hammer rounds per templating pass: enough weighted units to fire the
@@ -204,8 +205,10 @@ class FlipTemplater:
         for pattern_byte, from_value in ((0xFF, 1), (0x00, 0)):
             payload = bytes([pattern_byte]) * PAGE
             self.kernel.user_write(self.process, victim_vaddr, payload)
-            self.kit.hammer(aggr_vaddrs, rounds,
-                            per_iter_delay_ns=per_iter_delay_ns)
+            self.kit.run(
+                round_robin(len(aggr_vaddrs), rounds,
+                            per_iter_delay_ns=per_iter_delay_ns),
+                aggr_vaddrs)
             after = self.kernel.user_read(self.process, victim_vaddr, PAGE)
             for offset, byte in enumerate(after):
                 if byte == pattern_byte:

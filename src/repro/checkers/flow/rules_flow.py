@@ -16,6 +16,11 @@ test suite checks dynamically (DESIGN.md §9 maps them one-to-one):
   ``ActivationFeed`` and actuate through queued refreshes only; calling
   into (or constructing) ``DramModule``/``BankState`` from tracker code
   collapses the observation/policy/actuation layering.
+* RPR014 — pattern-compile purity: nothing reachable from the pattern
+  DSL's compile surface (``patterns/lang.py``, ``patterns/parser.py``,
+  ``patterns/compile.py``) may read the simulated clock or draw
+  randomness outside ``derive_rng`` — compiling a pattern twice must
+  be indistinguishable from compiling it once.
 
 Rules subclass :class:`FlowRule` and register with
 ``@register_rule(kind="flow")`` — the same registry the shallow rules
@@ -43,6 +48,7 @@ __all__ = [
     "SnapshotSafetyRule",
     "SweepPicklabilityRule",
     "TrackerLayeringRule",
+    "PatternPurityRule",
     "flow_rules",
     "run_flow_rules",
 ]
@@ -381,6 +387,73 @@ class TrackerLayeringRule(FlowRule):
         if info is None or info.cls is None:
             return None
         return info.cls.rsplit(".", 1)[-1]
+
+
+@register_rule(kind="flow")
+class PatternPurityRule(FlowRule):
+    """RPR014: the pattern DSL's compile path must be effect-free."""
+
+    rule_id = "RPR014"
+    description = ("nothing reachable from the pattern DSL compile "
+                   "surface (patterns/{lang,parser,compile}.py) may read "
+                   "SimClock or draw RNG outside derive_rng — compile is "
+                   "a pure function of source + bindings")
+    allowed_paths = ("tests/",)
+    #: The compile-time surface of the DSL: every function defined in
+    #: these modules seeds the reachability closure.  Execution-side
+    #: modules (``program.py``, ``scenario.py``, ``fuzz.py``) schedule
+    #: real time and randomness by design and are deliberately absent.
+    compile_paths: Tuple[str, ...] = (
+        "patterns/lang.py", "patterns/parser.py", "patterns/compile.py")
+    #: The seed-derivation module is the sanctioned RNG construction
+    #: site (mirrors RPR010's exemption): reachability stops at its
+    #: boundary and its body is not a hazard.
+    derivation_paths: Tuple[str, ...] = ("rng.py",)
+
+    def check_program(self, program: Program) -> Iterable[Finding]:
+        seeds = self._seed_functions(program)
+        if not seeds:
+            return []
+        parents = closure_from(
+            program, seeds, stop_paths=self.derivation_paths)
+        findings: List[Finding] = []
+        for qname in sorted(parents):
+            facts = program.function_facts(qname)
+            if facts is None or self.exempt(facts.fn.rel_path):
+                continue
+            if path_matches(facts.fn.rel_path, self.derivation_paths):
+                continue
+            for line, desc in self._hazards(facts):
+                chain = " -> ".join(chain_to(parents, qname))
+                findings.append(self.finding(
+                    facts, line, facts.fn.node.col_offset,
+                    f"pattern compile path {desc} (via {chain}); "
+                    "compilation must be a pure function of source and "
+                    "bindings — time and randomness belong to plan "
+                    "execution, not plan construction"))
+        return findings
+
+    def _seed_functions(self, program: Program) -> Set[str]:
+        out: Set[str] = set()
+        for facts in program.facts.values():
+            rel = facts.fn.rel_path
+            if self.exempt(rel):
+                continue
+            if path_matches(rel, self.compile_paths):
+                out.add(facts.fn.qname)
+        return out
+
+    @staticmethod
+    def _hazards(facts: FunctionFacts) -> List[Tuple[int, str]]:
+        out: List[Tuple[int, str]] = list(facts.clock_reads)
+        for line, desc in facts.rng_uses:
+            if "derive_rng" in desc:
+                # The sanctioned entry point: deriving a named stream is
+                # deterministic in its arguments, so it keeps compile
+                # pure even though it constructs an RNG.
+                continue
+            out.append((line, desc))
+        return out
 
 
 def flow_rules() -> Tuple[FlowRule, ...]:

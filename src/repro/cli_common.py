@@ -39,6 +39,7 @@ __all__ = [
     "EXIT_OK",
     "EXIT_USAGE",
     "add_check_option",
+    "add_defenses_option",
     "add_jobs_option",
     "add_json_option",
     "add_out_option",
@@ -76,6 +77,24 @@ def add_jobs_option(parser: argparse.ArgumentParser,
         metavar="N",
         help=f"parallel worker processes (default {default}; "
              "1 runs serially)")
+
+
+def add_defenses_option(parser: argparse.ArgumentParser,
+                        default=None,
+                        help_text: Optional[str] = None) -> None:
+    """``--defenses NAME [NAME ...]``: the defense axis of a sweep.
+
+    The one canonical spelling for every CLI that sweeps defenses
+    (``repro-zoo``, ``repro-fuzz``, ``repro-fleet``); singular
+    ``--defense`` spellings are banned so invocations compose across
+    tools.
+    """
+    default = list(default) if default is not None else []
+    parser.add_argument(
+        "--defenses", nargs="*", default=default, metavar="NAME",
+        help=help_text or (
+            f"defenses to sweep (default: {' '.join(default)})" if default
+            else "defenses to sweep"))
 
 
 def add_json_option(parser: argparse.ArgumentParser) -> None:

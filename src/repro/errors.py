@@ -90,6 +90,10 @@ class TemplatingError(AttackError):
     """Flip templating could not find the requested vulnerable pages."""
 
 
+class PatternError(ReproError):
+    """A hammer-pattern program failed to parse, resolve or compile."""
+
+
 class PageFaultException(ReproError):
     """Simulated hardware page fault (see ``repro.mmu.faults``).
 

@@ -68,10 +68,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--seeds-range", nargs=2, type=int, metavar=("FIRST", "LAST"),
         help="seeds axis as an inclusive integer range")
-    run.add_argument(
-        "--defenses", nargs="*", default=[],
-        help="defenses axis (registry names; params scale to the "
-             "machine inside the runner)")
+    cli_common.add_defenses_option(
+        run,
+        help_text="defenses axis (registry names; params scale to the "
+                  "machine inside the runner)")
     run.add_argument(
         "--fault-sites", nargs="*", default=[],
         help="fault-plan axis: one single-site plan per named site at "

@@ -17,6 +17,11 @@ supervisor, not here.
 * ``synthetic`` — hash-derived payloads plus scripted misbehaviour
   (poison / flaky / hang / pacing via ``runner_params``) for the
   fleet's own robustness tests and the CI smoke job.
+* ``fuzz`` — one point of the seeded pattern-fuzz campaign
+  (:mod:`repro.patterns.fuzz`), regenerated purely from the cell's
+  ``point-<index>`` name and the campaign seed in ``runner_params`` —
+  so a resumed fleet re-derives exactly the pattern a killed one was
+  hammering.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from ..errors import ConfigError
 
 __all__ = [
     "WINDOW_PATTERNS",
+    "fuzz_point_index",
     "materialise_scenario",
     "run_fleet_cell",
     "run_window_cell",
@@ -74,6 +80,7 @@ def materialise_scenario(cell: Mapping):
         defense_params=defense_params,
         attack=base.attack,
         workload=base.workload,
+        pattern=base.pattern,
         params=params,
     )
 
@@ -230,6 +237,57 @@ def _run_window_cell(cell: Mapping, runner_params: Mapping,
     )
 
 
+# ----------------------------------------------------------------- fuzz
+def fuzz_point_index(name: str) -> int:
+    """The point index behind a ``point-<N>`` scenarios-axis name."""
+    prefix, _, digits = name.partition("-")
+    if prefix != "point" or not digits.isdigit():
+        raise ConfigError(
+            f"fuzz cells are named 'point-<index>', not {name!r}")
+    return int(digits)
+
+
+def _run_fuzz_cell(cell: Mapping, runner_params: Mapping,
+                   attempt: int) -> dict:
+    """One fuzz-campaign point as a fleet cell.
+
+    The point is regenerated from ``(fuzz_seed, index)`` alone, so a
+    retried or resumed cell hammers the identical pattern.  The
+    defense axis picks the defense (default vanilla); the target
+    follows the campaign convention (SoftTRR gets the page-table leg)
+    unless ``runner_params["target"]`` pins it.
+    """
+    from ..patterns.fuzz import _target_for, point_spec, sample_point
+    from ..patterns.scenario import run_pattern_scenario
+
+    index = fuzz_point_index(cell["scenario"])
+    fuzz_seed = runner_params.get("fuzz_seed", 11)
+    point = sample_point(
+        fuzz_seed, index,
+        max_sides=runner_params.get("max_sides", 8))
+    defense = cell.get("defense") or "vanilla"
+    target = runner_params.get("target") or _target_for(defense)
+    spec = point_spec(
+        point, defense, fuzz_seed, target=target,
+        defense_params=cell.get("defense_params"),
+        machine_name=runner_params.get("machine", "tiny"))
+    params = dict(spec.params)
+    if cell.get("seed") is not None:
+        params["seed"] = cell["seed"]
+    if cell.get("fault_plan"):
+        params["fault_plan"] = dict(cell["fault_plan"])
+    from ..scenarios.spec import ScenarioSpec
+
+    payload = run_pattern_scenario(ScenarioSpec(
+        name=spec.name, kind=spec.kind, group=spec.group,
+        title=spec.title, machine=spec.machine, defense=spec.defense,
+        defense_params=spec.defense_params, pattern=spec.pattern,
+        params=params))
+    payload["kind"] = "pattern"
+    payload["point"] = point.to_dict()
+    return payload
+
+
 # ------------------------------------------------------------ synthetic
 #: Span-histogram boundaries the synthetic runner mirrors (the same
 #: edges as repro.trace.metrics.DURATION_BUCKETS_NS, duplicated here so
@@ -330,6 +388,7 @@ _RUNNERS = {
     "scenario": _run_scenario_cell,
     "window": _run_window_cell,
     "synthetic": _run_synthetic_cell,
+    "fuzz": _run_fuzz_cell,
 }
 
 

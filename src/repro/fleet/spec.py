@@ -23,6 +23,12 @@ Axis semantics per cell runner:
 * ``"synthetic"`` — any names; cells are hash-derived payloads used by
   the fleet's own tests and CI smoke (poison/flaky/hang injection via
   ``runner_params``).
+* ``"fuzz"`` — the scenarios axis holds fuzz-point names
+  (``point-0``, ``point-1``, ...); each cell regenerates that point of
+  the seeded pattern-fuzz campaign (:mod:`repro.patterns.fuzz`) from
+  its index and runs it against the cell's defense — the campaign's
+  sampling seed travels in ``runner_params["fuzz_seed"]``, while the
+  seed axis varies the machine under the point.
 """
 
 from __future__ import annotations
@@ -45,7 +51,7 @@ __all__ = [
 
 #: Cell runners the fleet supervisor knows how to drive
 #: (implementations live in :mod:`repro.fleet.runners`).
-CELL_RUNNERS = ("scenario", "window", "synthetic")
+CELL_RUNNERS = ("scenario", "window", "synthetic", "fuzz")
 
 
 def _canonical(payload) -> str:
@@ -240,6 +246,11 @@ class FleetSpec:
                     raise ConfigError(
                         f"unknown window pattern {name!r}; known: "
                         f"{WINDOW_PATTERNS}")
+        elif self.runner == "fuzz":
+            from .runners import fuzz_point_index
+
+            for name in self.scenarios:
+                fuzz_point_index(name)  # raises ConfigError on bad names
 
     def expand(self) -> List[FleetCell]:
         """The deterministic, stably-ordered cell list."""

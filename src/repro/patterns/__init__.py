@@ -1,0 +1,75 @@
+"""Hammer-pattern DSL, compiler, executors and fuzzer.
+
+The attack-authoring stack, bottom to top:
+
+* :mod:`repro.patterns.lang` — the AST and Python builders
+  (``act``/``wait``/``sync``/``repeat``, placeholder params);
+* :mod:`repro.patterns.parser` — the textual grammar (what
+  ``ScenarioSpec.pattern`` carries inline);
+* :mod:`repro.patterns.compile` — the pure resolve → unroll →
+  coalesce → chunk pipeline producing a :class:`CompiledPlan`
+  (flow rule RPR014 keeps this layer clock- and RNG-free);
+* :mod:`repro.patterns.program` — :class:`AttackProgram`, the one
+  execution entry point (rows mode and user/MMU mode);
+* :mod:`repro.patterns.scenario` — the ``kind="pattern"`` scenario
+  runner (rows target and the SoftTRR page-table target);
+* :mod:`repro.patterns.fuzz` — the seeded TRRespass-style pattern
+  fuzzer and blind-spot map behind the ``repro-fuzz`` CLI
+  (:mod:`repro.patterns.cli`).
+"""
+
+from .compile import CompiledPlan, PlanStep, compile_pattern
+from .fuzz import (
+    FuzzPoint,
+    pattern_source,
+    run_fuzz_campaign,
+    sample_points,
+    summarise_campaign,
+)
+from .lang import (
+    P,
+    Pattern,
+    act,
+    pattern,
+    repeat,
+    sync,
+    wait,
+)
+from .parser import parse_pattern, parse_patterns
+from .program import (
+    DEFAULT_BATCH,
+    DEFAULT_EXTRA_NS,
+    AttackProgram,
+    ProgramOutcome,
+    round_robin,
+    sided_pattern,
+)
+from .scenario import run_pattern_cell, run_pattern_scenario
+
+__all__ = [
+    "AttackProgram",
+    "CompiledPlan",
+    "DEFAULT_BATCH",
+    "DEFAULT_EXTRA_NS",
+    "FuzzPoint",
+    "P",
+    "Pattern",
+    "PlanStep",
+    "ProgramOutcome",
+    "act",
+    "compile_pattern",
+    "parse_pattern",
+    "parse_patterns",
+    "pattern",
+    "pattern_source",
+    "repeat",
+    "round_robin",
+    "run_fuzz_campaign",
+    "run_pattern_cell",
+    "run_pattern_scenario",
+    "sample_points",
+    "sided_pattern",
+    "summarise_campaign",
+    "sync",
+    "wait",
+]

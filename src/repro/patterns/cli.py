@@ -1,0 +1,155 @@
+"""``repro-fuzz``: the seeded pattern-fuzz campaign as a CLI.
+
+Sweeps sampled hammer-pattern points (:mod:`repro.patterns.fuzz`)
+against the requested defenses and reports the per-defense blind-spot
+map.  ``--check`` turns the report into the CI gate: vanilla must flip
+(the campaign has teeth), at least one many-sided point must evade
+chiptrr (the TRRespass result), misra_gries must stay clean across the
+pool, and SoftTRR's page-table leg must stay flip-free while the
+vanilla page-table probes prove that leg can flip at all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .. import cli_common
+from ..errors import ConfigError, ReproError
+from .fuzz import (
+    FUZZ_DEFENSES,
+    OFFSET_POOL,
+    run_fuzz_campaign,
+    sample_points,
+    summarise_campaign,
+)
+
+__all__ = ["main"]
+
+#: Point count of the default (acceptance-scale) campaign.
+DEFAULT_POINTS = 200
+
+#: Point count under ``--smoke`` (seconds-scale CI subset).
+SMOKE_POINTS = 24
+
+#: Gate key -> human-readable failure line for ``--check``.
+_GATE_FAILURES = {
+    "vanilla_flips":
+        "vanilla never flipped (campaign has no teeth)",
+    "chiptrr_evaded_many_sided":
+        "no many-sided point evaded chiptrr (blind spot not found)",
+    "misra_gries_clean":
+        "misra_gries flipped or errored somewhere in the pool",
+    "softtrr_pt_clean":
+        "softtrr's page-table leg flipped or errored",
+    "pt_leg_has_teeth":
+        "no vanilla page-table probe flipped (softtrr gate is vacuous)",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = cli_common.build_parser(
+        prog="repro-fuzz",
+        description=("Seeded hammer-pattern fuzzer: sweep sampled "
+                     "aggressor-count/ordering/timing points against "
+                     "the defense registry and map each defense's "
+                     "blind spots."),
+    )
+    cli_common.add_defenses_option(parser, default=FUZZ_DEFENSES)
+    parser.add_argument(
+        "--points", type=int, default=DEFAULT_POINTS, metavar="N",
+        help=f"parameter points to sample (default {DEFAULT_POINTS})")
+    parser.add_argument(
+        "--max-sides", type=int, default=len(OFFSET_POOL), metavar="N",
+        help="widest aggressor count a point may draw "
+             f"(default {len(OFFSET_POOL)})")
+    parser.add_argument(
+        "--machine", default="tiny",
+        help="machine profile the cells run on (default tiny)")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"seconds-scale CI subset ({SMOKE_POINTS} points)")
+    cli_common.add_seed_option(parser, default=11)
+    cli_common.add_jobs_option(parser)
+    cli_common.add_json_option(parser)
+    cli_common.add_out_option(
+        parser, help_text="write the JSON report to PATH instead of stdout")
+    cli_common.add_check_option(
+        parser,
+        help_text="exit non-zero unless every campaign gate holds "
+                  "(vanilla flips, chiptrr evaded many-sided, "
+                  "misra_gries clean, softtrr pt leg clean and "
+                  "non-vacuous)")
+    return parser
+
+
+def _text_report(report: dict) -> str:
+    lines = [f"repro-fuzz: {report['points']} points, "
+             f"seed {report['seed']}"]
+    for label in sorted(report["summary"]["rows"]):
+        row = report["summary"]["rows"][label]
+        lines.append(
+            f"  {label:<16} [{row['target']:<4}] "
+            f"{len(row['flip_points']):>4}/{row['cells']} points flip"
+            + (f", {row['errors']} errors" if row["errors"] else ""))
+    gates = report["summary"]["gates"]
+    lines.append("  gates: " + ", ".join(
+        f"{key}={'ok' if value else 'FAIL'}"
+        for key, value in sorted(gates.items())))
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    count = SMOKE_POINTS if args.smoke else args.points
+    try:
+        if args.jobs < 1:
+            raise ConfigError("--jobs must be >= 1")
+        if count < 1:
+            raise ConfigError("--points must be >= 1")
+        points = sample_points(args.seed, count, args.max_sides)
+        results = run_fuzz_campaign(
+            defenses=args.defenses, seed=args.seed, count=count,
+            max_sides=args.max_sides, workers=args.jobs,
+            machine_name=args.machine)
+    except ReproError as exc:
+        print(f"repro-fuzz: error: {exc}", file=sys.stderr)
+        return cli_common.EXIT_USAGE
+    summary = summarise_campaign(results, points)
+    report = {
+        "seed": args.seed,
+        "points": count,
+        "max_sides": args.max_sides,
+        "smoke": args.smoke,
+        "defenses": list(args.defenses),
+        "sampled_points": [point.to_dict() for point in points],
+        "summary": summary,
+        "cells": [result.to_dict() for result in results],
+    }
+    text = json.dumps(report, sort_keys=True, indent=2) + "\n"
+    if args.out:
+        cli_common.atomic_write_text(args.out, text)
+        print(f"[{len(results)} fuzz cells -> {args.out}]")
+    elif args.json:
+        sys.stdout.write(text)
+    else:
+        sys.stdout.write(_text_report(report))
+    if args.check:
+        failures = [
+            message for gate, message in sorted(_GATE_FAILURES.items())
+            if gate in summary["gates"] and not summary["gates"][gate]]
+        if failures:
+            for failure in failures:
+                print(f"repro-fuzz: CHECK FAILED: {failure}",
+                      file=sys.stderr)
+            return cli_common.EXIT_CHECK_FAILED
+        print(f"repro-fuzz: check passed ({len(results)} cells, "
+              "blind spots mapped, softtrr leg clean)", file=sys.stderr)
+    return cli_common.EXIT_OK
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,239 @@
+"""Hammer-pattern AST: the declarative attack-authoring language.
+
+A pattern is a tree of three statement forms —
+
+* ``act(bank, row, count)`` — ``count`` back-to-back activations of one
+  row (in *user* mode ``row`` indexes an aggressor vaddr list instead);
+* ``wait(ns)`` — advance simulated time between activation bursts;
+* ``repeat(n, *body)`` — run ``body`` ``n`` times;
+
+plus ``sync()``, a step barrier: compilation closes the current plan
+step there, and the executor dispatches kernel timers at every step
+boundary (the batch-boundary semantics the legacy ``HammerKit`` loop
+established).  Operands are integer expressions over named placeholder
+parameters (``P("victim") - 1``), resolved at compile time — the AST
+itself is immutable plain data with no machine, clock or RNG anywhere
+near it (flow rule RPR014 enforces that statically).
+
+Patterns can be authored two ways with identical results: these Python
+builders, or the textual grammar in :mod:`repro.patterns.parser`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from ..errors import PatternError
+
+__all__ = [
+    "Act",
+    "BinOp",
+    "Const",
+    "Expr",
+    "P",
+    "Param",
+    "ParamSpec",
+    "Pattern",
+    "Repeat",
+    "Sync",
+    "Wait",
+    "act",
+    "pattern",
+    "repeat",
+    "sync",
+    "wait",
+]
+
+
+# ---------------------------------------------------------- expressions
+class Expr:
+    """Base of the integer expression mini-language."""
+
+    __slots__ = ()
+
+    def __add__(self, other) -> "BinOp":
+        return BinOp("+", self, coerce_expr(other))
+
+    def __radd__(self, other) -> "BinOp":
+        return BinOp("+", coerce_expr(other), self)
+
+    def __sub__(self, other) -> "BinOp":
+        return BinOp("-", self, coerce_expr(other))
+
+    def __rsub__(self, other) -> "BinOp":
+        return BinOp("-", coerce_expr(other), self)
+
+    def __mul__(self, other) -> "BinOp":
+        return BinOp("*", self, coerce_expr(other))
+
+    def __rmul__(self, other) -> "BinOp":
+        return BinOp("*", coerce_expr(other), self)
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal integer operand."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, int) or isinstance(self.value, bool):
+            raise PatternError(
+                f"pattern constants must be integers, got {self.value!r}")
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """A named placeholder, bound at compile time."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise PatternError(
+                f"placeholder name {self.name!r} is not an identifier")
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """``left <op> right`` with ``op`` in ``+ - *``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in ("+", "-", "*"):
+            raise PatternError(f"unknown pattern operator {self.op!r}")
+
+
+def P(name: str) -> Param:
+    """Shorthand placeholder constructor: ``P("victim") - 1``."""
+    return Param(name)
+
+
+def coerce_expr(value: Union[Expr, int, str]) -> Expr:
+    """Ints become :class:`Const`, strings :class:`Param`."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        raise PatternError(f"cannot use {value!r} as a pattern operand")
+    if isinstance(value, int):
+        return Const(value)
+    if isinstance(value, str):
+        return Param(value)
+    raise PatternError(
+        f"cannot use {type(value).__name__} as a pattern operand")
+
+
+# ----------------------------------------------------------- statements
+@dataclass(frozen=True)
+class Act:
+    """``count`` consecutive activations of ``(bank, row)``."""
+
+    bank: Expr
+    row: Expr
+    count: Expr
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Advance simulated time by ``ns`` nanoseconds."""
+
+    ns: Expr
+
+
+@dataclass(frozen=True)
+class Sync:
+    """Step barrier: close the plan step, dispatch kernel timers."""
+
+
+@dataclass(frozen=True)
+class Repeat:
+    """Run ``body`` ``count`` times."""
+
+    count: Expr
+    body: Tuple[object, ...]
+
+    def __post_init__(self) -> None:
+        if not self.body:
+            raise PatternError("repeat body cannot be empty")
+        object.__setattr__(self, "body", tuple(self.body))
+
+
+Op = Union[Act, Wait, Sync, Repeat]
+
+
+def act(bank, row, count=1) -> Act:
+    return Act(coerce_expr(bank), coerce_expr(row), coerce_expr(count))
+
+
+def wait(ns) -> Wait:
+    return Wait(coerce_expr(ns))
+
+
+def sync() -> Sync:
+    return Sync()
+
+
+def repeat(count, *body) -> Repeat:
+    return Repeat(coerce_expr(count), tuple(body))
+
+
+# -------------------------------------------------------------- pattern
+@dataclass(frozen=True)
+class ParamSpec:
+    """One declared pattern parameter, with an optional default."""
+
+    name: str
+    default: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise PatternError(
+                f"parameter name {self.name!r} is not an identifier")
+        if self.default is not None and not isinstance(self.default, int):
+            raise PatternError(
+                f"parameter {self.name!r} default must be an integer")
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A named pattern: declared parameters + statement body."""
+
+    name: str
+    params: Tuple[ParamSpec, ...]
+    body: Tuple[object, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", tuple(self.params))
+        object.__setattr__(self, "body", tuple(self.body))
+        seen = set()
+        for spec in self.params:
+            if spec.name in seen:
+                raise PatternError(
+                    f"pattern {self.name!r} declares parameter "
+                    f"{spec.name!r} twice")
+            seen.add(spec.name)
+        if not self.body:
+            raise PatternError(f"pattern {self.name!r} has an empty body")
+
+    def param_names(self) -> Tuple[str, ...]:
+        return tuple(spec.name for spec in self.params)
+
+
+def pattern(name: str, params=(), *body) -> Pattern:
+    """Builder: ``params`` entries are ``"name"`` or ``("name", default)``."""
+    specs = []
+    for entry in params:
+        if isinstance(entry, str):
+            specs.append(ParamSpec(entry))
+        elif isinstance(entry, tuple) and len(entry) == 2:
+            specs.append(ParamSpec(entry[0], entry[1]))
+        elif isinstance(entry, ParamSpec):
+            specs.append(entry)
+        else:
+            raise PatternError(
+                f"cannot read a parameter declaration from {entry!r}")
+    return Pattern(name, tuple(specs), tuple(body))

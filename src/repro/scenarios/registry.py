@@ -17,6 +17,9 @@ subset can be handed to :func:`repro.scenarios.runner.run_sweep` (or the
 ``smoke``      A seconds-scale subset used by CI and the test suite.
 ``chaos``      Fault-injection cells (one per ``repro.faults`` site,
                healing on and off) backing the ``repro-chaos`` harness.
+``patterns``   Hammer-pattern DSL cells (:mod:`repro.patterns`):
+               DSL-authored sided patterns vs the headline defenses on
+               the rows and page-table targets.
 
 Scale choices match the benchmarks' laptop-friendly small mode; a
 sweep is meant to regenerate the tables' *shape and verdicts*, with
@@ -273,10 +276,16 @@ def _zoo() -> List[ScenarioSpec]:
     return zoo_specs()
 
 
+def _patterns() -> List[ScenarioSpec]:
+    from ..patterns.scenario import pattern_specs
+
+    return pattern_specs()
+
+
 def _build() -> Dict[str, ScenarioSpec]:
     registry: Dict[str, ScenarioSpec] = {}
     for builder in (_table2, _baselines, _table3, _table4, _table5,
-                    _lamp, _anatomy, _smoke, _chaos, _zoo):
+                    _lamp, _anatomy, _smoke, _chaos, _zoo, _patterns):
         for spec in builder():
             if spec.name in registry:
                 raise ConfigError(f"duplicate scenario name {spec.name!r}")

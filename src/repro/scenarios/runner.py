@@ -212,6 +212,13 @@ def _run_zoo(spec: ScenarioSpec) -> dict:
     return run_zoo_scenario(spec)
 
 
+# --------------------------------------------------------------- pattern
+def _run_pattern(spec: ScenarioSpec) -> dict:
+    from ..patterns.scenario import run_pattern_scenario
+
+    return run_pattern_scenario(spec)
+
+
 _RUNNERS = {
     "attack": _run_attack,
     "overhead": _run_overhead,
@@ -220,6 +227,7 @@ _RUNNERS = {
     "stress": _run_stress,
     "chaos": _run_chaos,
     "zoo": _run_zoo,
+    "pattern": _run_pattern,
 }
 
 

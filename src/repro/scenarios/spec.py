@@ -21,7 +21,7 @@ __all__ = ["KINDS", "ScenarioSpec", "ScenarioResult", "results_to_json"]
 
 #: Scenario kinds the runner knows how to execute.
 KINDS = ("attack", "overhead", "breakdown", "lamp", "stress", "chaos",
-         "zoo")
+         "zoo", "pattern")
 
 
 @dataclass(frozen=True)
@@ -32,8 +32,10 @@ class ScenarioSpec:
     :class:`~repro.machine.MachineConfig`.  ``attack`` names an attack
     for ``kind="attack"``; ``workload`` names a profile
     (``"spec:gcc_s"``, ``"phoronix:Apache"``) for overhead/breakdown
-    kinds or an LTP test for ``kind="stress"``.  Everything else lives
-    in ``params`` (kind-specific; see :mod:`repro.scenarios.runner`).
+    kinds or an LTP test for ``kind="stress"``.  ``pattern`` carries
+    inline hammer-pattern DSL source for ``kind="pattern"``
+    (:mod:`repro.patterns`).  Everything else lives in ``params``
+    (kind-specific; see :mod:`repro.scenarios.runner`).
     """
 
     name: str
@@ -45,6 +47,7 @@ class ScenarioSpec:
     defense_params: Mapping = field(default_factory=dict)
     attack: Optional[str] = None
     workload: Optional[str] = None
+    pattern: Optional[str] = None
     params: Mapping = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -54,6 +57,9 @@ class ScenarioSpec:
         if self.kind == "attack" and not self.attack:
             raise ConfigError(f"scenario {self.name!r}: attack kind "
                               "needs an attack name")
+        if self.kind == "pattern" and not self.pattern:
+            raise ConfigError(f"scenario {self.name!r}: pattern kind "
+                              "needs inline DSL source in 'pattern'")
         if self.kind in ("overhead", "breakdown", "stress") and not self.workload:
             raise ConfigError(f"scenario {self.name!r}: {self.kind} kind "
                               "needs a workload name")

@@ -1,0 +1,1 @@
+"""Known-bad RPR014 fixture: the compile path touches clock and RNG."""

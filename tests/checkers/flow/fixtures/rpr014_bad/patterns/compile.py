@@ -1,0 +1,14 @@
+"""Impure compile surface: a direct clock read and a laundered draw."""
+
+from ..timing import jitter
+
+
+def resolve(steps, clock):
+    # Bad: stamping the plan at compile time ties the compiled artifact
+    # to when it was compiled.
+    return [(op, clock.now_ns) for op in steps]
+
+
+def unroll(steps, rng):
+    # Bad two hops out: the helper draws from an unsanctioned stream.
+    return jitter(steps, rng)

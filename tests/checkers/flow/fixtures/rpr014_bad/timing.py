@@ -1,0 +1,5 @@
+"""Helper the compile surface reaches; the hazard lives here."""
+
+
+def jitter(steps, rng):
+    return [op + rng.randint(0, 3) for op in steps]

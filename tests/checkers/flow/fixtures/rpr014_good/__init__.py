@@ -1,0 +1,1 @@
+"""Known-good RPR014 fixture: compile is pure, effects live in execution."""

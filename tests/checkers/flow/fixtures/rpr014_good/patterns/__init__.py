@@ -1,0 +1,1 @@
+"""Mini pattern package whose compile surface is pure."""

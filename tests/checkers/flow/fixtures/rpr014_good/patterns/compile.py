@@ -1,0 +1,20 @@
+"""Pure compile surface: arithmetic on source + bindings only.
+
+Deriving a *named* stream through ``derive_rng`` is permitted — it is a
+deterministic function of its arguments, so compiling twice still
+yields the same plan.
+"""
+
+from ..rng import derive_rng
+
+
+def resolve(steps, bindings):
+    return [bindings.get(op, op) for op in steps]
+
+
+def unroll(steps, repeats):
+    return [op for op in steps for _ in range(repeats)]
+
+
+def stream_for(name):
+    return derive_rng("pattern", name)

@@ -1,0 +1,10 @@
+"""Execution side: time and randomness are legal here, not at compile."""
+
+from .compile import resolve, stream_for
+
+
+def execute(steps, bindings, clock, name):
+    rng = stream_for(name)
+    started = clock.now_ns
+    plan = resolve(steps, bindings)
+    return [(op, started + rng.randint(0, 3)) for op in plan]

@@ -1,0 +1,7 @@
+"""Seed-derivation module (the RPR010-sanctioned construction site)."""
+
+import random
+
+
+def derive_rng(*parts):
+    return random.Random(":".join(str(part) for part in parts))

@@ -56,7 +56,7 @@ def test_json_report_shape(tmp_path, capsys):
     assert report["count"] == 2
     assert report["grandfathered"] == 0
     assert report["rules"] == [
-        "RPR009", "RPR010", "RPR011", "RPR012", "RPR013"]
+        "RPR009", "RPR010", "RPR011", "RPR012", "RPR013", "RPR014"]
     assert report["wall_time_s"] >= 0
     assert {f["rule_id"] for f in report["findings"]} == {"RPR010"}
     assert all("symbol" in f for f in report["findings"])

@@ -1,4 +1,4 @@
-"""Fixture-package tests for the flow rules RPR009..RPR012.
+"""Fixture-package tests for the flow rules RPR009..RPR014.
 
 Each known-bad mini-package under ``fixtures/`` seeds exactly the
 violations its rule must catch (including an aliasing case and a
@@ -142,10 +142,39 @@ def test_rpr013_silent_on_feed_mediated_policy(tmp_path):
     assert findings == []
 
 
+# ------------------------------------------------- RPR014 (pattern DSL)
+def test_rpr014_fires_on_direct_clock_read_in_compile(tmp_path):
+    _, _, findings = analyze_fixture(tmp_path, "rpr014_bad", "RPR014")
+    clock_hits = [f for f in findings if "now_ns" in f.message]
+    assert clock_hits, findings
+    hit = clock_hits[0]
+    assert hit.rule_id == "RPR014"
+    assert hit.path.endswith("patterns/compile.py")
+    assert hit.symbol.endswith("compile.resolve")
+
+
+def test_rpr014_fires_on_transitive_rng_draw(tmp_path):
+    _, _, findings = analyze_fixture(tmp_path, "rpr014_bad", "RPR014")
+    rng_hits = [f for f in findings if "randint" in f.message]
+    assert rng_hits, findings
+    hit = rng_hits[0]
+    # Anchored at the helper that draws, with the chain from the seed.
+    assert hit.path.endswith("timing.py")
+    assert "rpr014_bad.patterns.compile.unroll" in hit.message
+    assert "rpr014_bad.timing.jitter" in hit.message
+
+
+def test_rpr014_permits_derive_rng_and_execution_effects(tmp_path):
+    # The good twin derives a named stream at compile (sanctioned) and
+    # keeps clock/RNG use in the execution module (not a seed).
+    _, _, findings = analyze_fixture(tmp_path, "rpr014_good", "RPR014")
+    assert findings == []
+
+
 # ------------------------------------------------------- cross-fixture
 @pytest.mark.parametrize("name", [
     "rpr009_good", "rpr010_good", "rpr011_good", "rpr012_good",
-    "rpr013_good"])
+    "rpr013_good", "rpr014_good"])
 def test_good_fixtures_clean_under_all_rules(tmp_path, name):
     _, _, findings = analyze_fixture(tmp_path, name)
     assert findings == []

@@ -24,7 +24,7 @@ class TestRegistry:
     def test_groups_cover_the_paper_evaluation(self):
         assert list_groups() == [
             "table2", "baselines", "table3", "table4", "table5",
-            "lamp", "anatomy", "smoke", "chaos", "zoo"]
+            "lamp", "anatomy", "smoke", "chaos", "zoo", "patterns"]
 
     def test_expected_grid_sizes(self):
         sizes = {g: len(scenario_group(g)) for g in list_groups()}
@@ -39,6 +39,7 @@ class TestRegistry:
             "smoke": 5,
             "chaos": 10,        # 5 fault sites x {healed, raw}
             "zoo": 28,          # 7 defenses x (3 hammer patterns + spray)
+            "patterns": 15,     # DSL-authored cells (PR 10)
         }
 
     def test_names_match_registry_keys(self):
